@@ -1,0 +1,1099 @@
+(* The benchmark harness: regenerates every figure of the paper's
+   evaluation (Section 6) plus the ablations listed in DESIGN.md.
+
+     dune exec bench/main.exe              # everything, default scale
+     dune exec bench/main.exe -- fig1a     # one experiment
+     dune exec bench/main.exe -- --quick   # reduced scale (CI-friendly)
+
+   Experiments: fig1a fig1b fig1c decoupling ballsbins failures hybrid
+   eps vmm thp smp mrc coalesced multiprog hpcfigs competitive iceberg
+   micro.
+
+   Scales are 1/16 of the paper's (4 GiB virtual address spaces instead
+   of 64 GiB, millions of references instead of hundreds of millions);
+   the shapes — who wins, by how many orders of magnitude, where the
+   curves cross — are the reproduction targets, not absolute counts.
+   See EXPERIMENTS.md for the paper-vs-measured record. *)
+
+open Atp_core
+open Atp_memsim
+open Atp_paging
+open Atp_workloads
+open Atp_util
+
+let quick = Array.exists (String.equal "--quick") Sys.argv
+
+let scale_down n = if quick then n / 8 else n
+
+let epsilon = 0.01
+
+let hline = String.make 78 '-'
+
+let header title =
+  Printf.printf "\n%s\n%s\n%s\n" hline title hline
+
+(* ------------------------------------------------------------------ *)
+(* Figure 1: IOs and TLB misses vs huge-page size                      *)
+(* ------------------------------------------------------------------ *)
+
+let huge_sizes = [ 1; 2; 4; 8; 16; 32; 64; 128; 256; 512; 1024 ]
+
+(* Replay one fixed (warmup, measured) trace pair across every h and
+   the decoupled reference — the paper's trace-driven methodology. *)
+let figure_sweep ~name ~ram ~tlb_entries ~warmup ~trace () =
+  header
+    (Printf.sprintf "%s — IOs and TLB misses vs huge-page size h (RAM %d pages, TLB %d)"
+       name ram tlb_entries);
+  Printf.printf "%8s %14s %14s %14s\n" "h" "IOs" "TLB misses" "cost(e=0.01)";
+  (* Each h gets its own machine; the trace arrays are read-only, so
+     the sweep runs one domain per h. *)
+  let rows =
+    Parallel.map
+      (fun h ->
+        let m =
+          Machine.create
+            { Machine.default_config with
+              ram_pages = ram; tlb_entries; huge_size = h; epsilon }
+        in
+        let c = Machine.run ~warmup m trace in
+        (h, c))
+      huge_sizes
+  in
+  List.iter
+    (fun (h, c) ->
+      Printf.printf "%8d %14d %14d %14.1f\n%!" h c.Machine.ios
+        c.Machine.tlb_misses (Machine.cost ~epsilon c))
+    rows;
+  (* The decoupled scheme on the same trace, as a reference row. *)
+  let params = Params.derive ~p:ram ~w:64 () in
+  let x = Policy.instantiate (module Lru) ~capacity:tlb_entries () in
+  let y =
+    Policy.instantiate (module Lru) ~capacity:(Params.usable_pages params) ()
+  in
+  let z = Simulation.create ~params ~x ~y () in
+  let r = Simulation.run ~warmup z trace in
+  Printf.printf "%8s %14d %14d %14.1f   <- decoupled (h_max=%d)\n" "Z"
+    r.Simulation.ios r.Simulation.tlb_fills
+    (Simulation.cost ~epsilon r)
+    params.Params.h_max;
+  let _, first = List.hd rows in
+  let _, last = List.nth rows (List.length rows - 1) in
+  Printf.printf
+    "shape: IOs x%.0f from h=1 to h=1024; TLB misses x%.4f; at h=1 TLB/IO = %.1f\n"
+    (float_of_int last.Machine.ios /. float_of_int (max 1 first.Machine.ios))
+    (float_of_int last.Machine.tlb_misses
+     /. float_of_int (max 1 first.Machine.tlb_misses))
+    (float_of_int first.Machine.tlb_misses
+     /. float_of_int (max 1 first.Machine.ios))
+
+let fig1a () =
+  let rng = Prng.create ~seed:100 () in
+  (* 1/16 of the paper: hot 64 MiB region inside a 4 GiB space, RAM
+     1 GiB, 99.99% hot. *)
+  let w =
+    Bimodal.create ~hot_fraction:0.9999 ~hot_pages:(1 lsl 14)
+      ~virtual_pages:(1 lsl 20) rng
+  in
+  let warmup = Workload.generate w (scale_down 2_000_000) in
+  let trace = Workload.generate w (scale_down 2_000_000) in
+  figure_sweep ~name:"Figure 1a: bimodal uniform" ~ram:(1 lsl 18)
+    ~tlb_entries:1536 ~warmup ~trace ()
+
+let fig1b () =
+  let rng = Prng.create ~seed:200 () in
+  (* 4 GiB virtual space, 2 GiB cache: the paper's 64/32 ratio. *)
+  let w = Graph_walk.create ~alpha:0.01 ~virtual_pages:(1 lsl 20) rng in
+  let warmup = Workload.generate w (scale_down 2_000_000) in
+  let trace = Workload.generate w (scale_down 2_000_000) in
+  figure_sweep ~name:"Figure 1b: Pareto random graph walk" ~ram:(1 lsl 19)
+    ~tlb_entries:1536 ~warmup ~trace ()
+
+let fig1c () =
+  (* The paper replays a 5M-access window of a graph500 run whose
+     process footprint (60 GB) dwarfs the pages the window touches
+     (525 MB), and sizes the cache just below the touched set (520 MB).
+     We reproduce that regime: a graph much larger than the trace
+     window (so the window's touched set is sparse in the address
+     space), RAM sized at 520/525 of the measured touched set. *)
+  let scale = if quick then 16 else 20 in
+  let rng = Prng.create ~seed:300 () in
+  let csr = Kronecker.generate ~scale ~edge_factor:16 rng in
+  let w, layout = Graph500.create_from csr (Prng.create ~seed:301 ()) in
+  let warmup = Workload.generate w (scale_down 2_000_000) in
+  let trace = Workload.generate w (scale_down 2_000_000) in
+  let touched =
+    (Atp_workloads.Trace.summarize (Array.append warmup trace)).Trace.footprint
+  in
+  let ram = touched * 520 / 525 in
+  figure_sweep
+    ~name:
+      (Printf.sprintf
+         "Figure 1c: graph500 BFS (scale %d, VA %d pages, trace touches %d)"
+         scale layout.Graph500.total_pages touched)
+    ~ram ~tlb_entries:1536 ~warmup ~trace ()
+
+(* ------------------------------------------------------------------ *)
+(* A1: decoupling vs physical huge pages across epsilon                *)
+(* ------------------------------------------------------------------ *)
+
+let decoupling () =
+  header
+    "A1: C(Z) vs physical huge pages, across workloads and epsilon \
+     (Theorem 4 in practice)";
+  let tlb_entries = 512 in
+  let warmup_n = scale_down 500_000 and measure_n = scale_down 500_000 in
+  let epsilons = [ 0.001; 0.01; 0.1 ] in
+  let workloads =
+    [
+      ( "bimodal",
+        1 lsl 16,
+        fun seed ->
+          let rng = Prng.create ~seed () in
+          Bimodal.create ~hot_fraction:0.999 ~hot_pages:(1 lsl 11)
+            ~virtual_pages:(1 lsl 18) rng );
+      ( "graph-walk",
+        1 lsl 15,
+        fun seed ->
+          let rng = Prng.create ~seed () in
+          Graph_walk.create ~virtual_pages:(1 lsl 16) rng );
+      ( "zipf",
+        1 lsl 15,
+        fun seed ->
+          let rng = Prng.create ~seed () in
+          Simple.zipf ~s:0.9 ~virtual_pages:(1 lsl 17) rng );
+    ]
+  in
+  List.iter
+    (fun (name, ram, mk) ->
+      Printf.printf "\n[%s] RAM = %d pages\n" name ram;
+      let physical =
+        List.map
+          (fun h ->
+            let w = mk 1 in
+            let warmup = Workload.generate w warmup_n in
+            let trace = Workload.generate w measure_n in
+            let m =
+              Machine.create
+                { Machine.default_config with
+                  ram_pages = ram; tlb_entries; huge_size = h }
+            in
+            let c = Machine.run ~warmup m trace in
+            (h, c))
+          [ 1; 16; 256 ]
+      in
+      let params = Params.derive ~p:ram ~w:64 () in
+      let w = mk 1 in
+      let warmup = Workload.generate w warmup_n in
+      let trace = Workload.generate w measure_n in
+      let x = Policy.instantiate (module Lru) ~capacity:tlb_entries () in
+      let y =
+        Policy.instantiate (module Lru)
+          ~capacity:(Params.usable_pages params) ()
+      in
+      let z = Simulation.create ~params ~x ~y () in
+      let r = Simulation.run ~warmup z trace in
+      Printf.printf "%12s %14s %14s" "scheme" "IOs" "TLB misses";
+      List.iter
+        (fun e -> Printf.printf " %14s" (Printf.sprintf "cost(e=%g)" e))
+        epsilons;
+      print_newline ();
+      List.iter
+        (fun (h, c) ->
+          Printf.printf "%12s %14d %14d"
+            (Printf.sprintf "physical %d" h)
+            c.Machine.ios c.Machine.tlb_misses;
+          List.iter
+            (fun e -> Printf.printf " %14.1f" (Machine.cost ~epsilon:e c))
+            epsilons;
+          print_newline ())
+        physical;
+      Printf.printf "%12s %14d %14d" "decoupled Z" r.Simulation.ios
+        r.Simulation.tlb_fills;
+      List.iter
+        (fun e -> Printf.printf " %14.1f" (Simulation.cost ~epsilon:e r))
+        epsilons;
+      Printf.printf "   (failures=%d, decode misses=%d)\n"
+        r.Simulation.failures_total r.Simulation.decoding_misses)
+    workloads
+
+(* ------------------------------------------------------------------ *)
+(* A13: empirical Sleator–Tarjan — the competitive frame both halves   *)
+(*      of the problem reduce to (Lemma 1)                             *)
+(* ------------------------------------------------------------------ *)
+
+let competitive () =
+  header
+    "A13: empirical competitive ratios vs OPT (Lemma 1's classical paging \
+     frame)";
+  let n = scale_down 200_000 in
+  let k = 256 in
+  let traces =
+    [
+      ( "zipf",
+        Workload.generate
+          (Simple.zipf ~s:0.9 ~virtual_pages:8_192 (Prng.create ~seed:91 ()))
+          n );
+      ( "graph-walk",
+        Workload.generate
+          (Graph_walk.create ~virtual_pages:8_192 (Prng.create ~seed:92 ()))
+          n );
+      ("adversary", Competitive.lru_adversary ~capacity:k ~length:n);
+    ]
+  in
+  Printf.printf "%12s |" "trace";
+  List.iter
+    (fun (module P : Policy.S) -> Printf.printf " %8s" P.name)
+    Registry.all;
+  Printf.printf " | %10s\n" "ST bound";
+  List.iter
+    (fun (name, trace) ->
+      Printf.printf "%12s |" name;
+      List.iter
+        (fun (module P : Policy.S) ->
+          let rng = Prng.create ~seed:93 () in
+          Printf.printf " %8.2f"
+            (Competitive.ratio_vs_opt (module P) ~rng ~capacity:k trace))
+        Registry.all;
+      Printf.printf " | %10.0f\n%!" (Competitive.sleator_tarjan_bound ~k ~h:k))
+    traces;
+  (* Resource augmentation: LRU(k) against OPT(h), measured vs bound. *)
+  Printf.printf
+    "\nLRU(%d) vs OPT(h) with resource augmentation (adversarial trace):\n" k;
+  Printf.printf "%8s %14s %14s\n" "h" "measured" "ST bound";
+  let trace = Competitive.lru_adversary ~capacity:k ~length:n in
+  List.iter
+    (fun (h, measured, bound) ->
+      Printf.printf "%8d %14.2f %14.2f\n%!" h measured bound)
+    (Competitive.augmentation_curve (module Lru) ~k
+       ~hs:[ k / 4; k / 2; (3 * k) / 4; k ]
+       trace)
+
+(* ------------------------------------------------------------------ *)
+(* A2: balls-and-bins maximum loads (Theorem 2 empirically)            *)
+(* ------------------------------------------------------------------ *)
+
+let ballsbins () =
+  header "A2: dynamic balls-and-bins maximum loads under churn (Theorem 2)";
+  let open Atp_ballsbins in
+  Printf.printf "%8s %6s %12s | %12s %12s %12s | %10s\n" "bins" "lam" "steps"
+    "one-choice" "greedy[2]" "iceberg[2]" "bound";
+  List.iter
+    (fun (bins, lambda) ->
+      let m = lambda * bins in
+      let steps = scale_down (2 * m) in
+      let run mk layers =
+        let rng = Prng.create ~seed:7 () in
+        let strategy = mk rng in
+        let game = Game.create ~layers ~bins () in
+        let arng = Prng.create ~seed:11 () in
+        let ops = Adversary.churn arng ~m ~steps ~fresh:true in
+        (Runner.run ~game ~strategy ops).Runner.max_load_ever
+      in
+      let one = run (fun rng -> Strategy.one_choice rng ~bins) 1 in
+      let greedy = run (fun rng -> Strategy.greedy rng ~d:2 ~bins) 1 in
+      let tau = Strategy.default_tau ~m ~bins in
+      let ice = run (fun rng -> Strategy.iceberg rng ~tau ~bins ()) 2 in
+      (* Theorem 2's bound: (1 + o(1)) lambda + log log n + O(1). *)
+      let bound =
+        int_of_float
+          (ceil
+             ((1.05 *. float_of_int lambda)
+             +. Float.log2 (Float.max 2.0 (Float.log2 (float_of_int bins)))))
+        + 3
+      in
+      Printf.printf "%8d %6d %12d | %12d %12d %12d | %10d\n%!" bins lambda
+        steps one greedy ice bound)
+    [ (1 lsl 12, 8); (1 lsl 12, 32); (1 lsl 14, 8); (1 lsl 14, 32) ]
+
+(* ------------------------------------------------------------------ *)
+(* A3: paging failures vs bucket size (Theorems 1 and 3 constants)     *)
+(* ------------------------------------------------------------------ *)
+
+let failures () =
+  header "A3: paging failures when buckets shrink below the theorem bound";
+  let p = 1 lsl 16 in
+  Printf.printf "%12s %8s %8s %10s %14s %14s\n" "scheme" "B" "factor" "budget"
+    "failures" "max load";
+  List.iter
+    (fun scheme ->
+      let base = Params.derive ~scheme ~p ~w:64 () in
+      List.iter
+        (fun factor ->
+          let bucket_size =
+            max 1
+              (int_of_float (float_of_int base.Params.bucket_size *. factor))
+          in
+          let params =
+            { base with
+              Params.bucket_size;
+              buckets = p / bucket_size;
+              tau =
+                (if scheme = Params.One_choice then bucket_size
+                 else min base.Params.tau bucket_size);
+            }
+          in
+          let a = Alloc.create params in
+          let budget =
+            min (Params.usable_pages base) (Alloc.frames a * 95 / 100)
+          in
+          for page = 0 to budget - 1 do
+            ignore (Alloc.insert a page)
+          done;
+          let name =
+            match scheme with
+            | Params.One_choice -> "one-choice"
+            | Params.Iceberg { d } -> Printf.sprintf "iceberg[%d]" d
+          in
+          Printf.printf "%12s %8d %8.2f %10d %14d %14d\n%!" name bucket_size
+            factor budget (Alloc.failures_total a) (Alloc.max_bucket_load a))
+        [ 0.15; 0.3; 0.6; 1.0 ])
+    [ Params.One_choice; Params.Iceberg { d = 2 } ]
+
+(* ------------------------------------------------------------------ *)
+(* A4: the hybrid scheme of Section 8                                  *)
+(* ------------------------------------------------------------------ *)
+
+let hybrid () =
+  header
+    "A4: hybrid decoupling (Section 8) — physical chunks under decoupled \
+     fields";
+  (* A hot set much larger than the decoupled TLB reach
+     (tlb_entries × h_max), so extra coverage has something to buy. *)
+  let ram = 1 lsl 16 in
+  let tlb_entries = 128 in
+  let warmup_n = scale_down 500_000 and measure_n = scale_down 500_000 in
+  let mk_workload seed =
+    let rng = Prng.create ~seed () in
+    Bimodal.create ~hot_fraction:0.999 ~hot_pages:(1 lsl 14)
+      ~virtual_pages:(1 lsl 18) rng
+  in
+  Printf.printf "%10s %10s %14s %14s %14s\n" "chunk" "coverage" "IOs"
+    "TLB misses" "cost(e=0.01)";
+  List.iter
+    (fun chunk ->
+      let h = Hybrid.create ~ram_pages:ram ~chunk ~w:64 ~tlb_entries () in
+      let w = mk_workload 1 in
+      let warmup = Workload.generate w warmup_n in
+      let trace = Workload.generate w measure_n in
+      let r = Hybrid.run ~warmup h trace in
+      Printf.printf "%10d %10d %14d %14d %14.1f\n%!" chunk r.Hybrid.coverage
+        r.Hybrid.ios r.Hybrid.tlb_fills (Hybrid.cost ~epsilon r))
+    [ 1; 4; 16; 64 ];
+  (* Physical huge pages with coverage comparable to chunk=16. *)
+  let w = mk_workload 1 in
+  let warmup = Workload.generate w warmup_n in
+  let trace = Workload.generate w measure_n in
+  let m =
+    Machine.create
+      { Machine.default_config with
+        ram_pages = ram; tlb_entries; huge_size = 128 }
+  in
+  let c = Machine.run ~warmup m trace in
+  Printf.printf "%10s %10d %14d %14d %14.1f   <- pure physical h=128\n" "-"
+    128 c.Machine.ios c.Machine.tlb_misses (Machine.cost ~epsilon c)
+
+(* ------------------------------------------------------------------ *)
+(* A5: measured epsilon — page walks, PWC, huge leaves, virtualization *)
+(* ------------------------------------------------------------------ *)
+
+let eps () =
+  header
+    "A5: the TLB-miss cost epsilon, measured from page walks (bare metal \
+     vs nested/virtualized)";
+  let io_cycles = 40_000 in
+  let accesses = scale_down 200_000 in
+  let spaces = [ ("dense-64k", 1 lsl 16); ("sparse-16M", 1 lsl 24) ] in
+  Printf.printf "%12s %16s %16s %16s %16s\n" "space" "bare walk(cyc)"
+    "bare eps" "nested walk(cyc)" "nested eps";
+  List.iter
+    (fun (name, space) ->
+      let rng = Prng.create ~seed:17 () in
+      let pt = Page_table.create () in
+      let bare = Walker.create pt in
+      let nested = Nested.create () in
+      for _ = 1 to accesses do
+        let v = Prng.int rng space in
+        if Page_table.lookup pt v = None then begin
+          Page_table.map pt ~vpage:v ~frame:v ();
+          Nested.guest_map nested ~gva:v ~gpa:v
+        end;
+        ignore (Walker.translate bare v);
+        ignore (Nested.translate nested v)
+      done;
+      Printf.printf "%12s %16.1f %16.5f %16.1f %16.5f\n%!" name
+        (Walker.average_cycles bare)
+        (Walker.epsilon bare ~io_latency_cycles:io_cycles)
+        (Nested.average_cycles nested)
+        (Nested.epsilon nested ~io_latency_cycles:io_cycles))
+    spaces;
+  (* Huge leaves shorten walks: same sparse space mapped with level-1
+     leaves. *)
+  let rng = Prng.create ~seed:18 () in
+  let pt = Page_table.create () in
+  let w = Walker.create pt in
+  for _ = 1 to accesses do
+    let v = Prng.int rng (1 lsl 24) in
+    let base = v land lnot 511 in
+    if Page_table.lookup pt v = None then
+      Page_table.map pt ~vpage:base ~frame:base ~level:1 ();
+    ignore (Walker.translate w v)
+  done;
+  Printf.printf "%12s %16.1f %16.5f   <- level-1 (2 MiB-style) leaves\n"
+    "sparse-16M" (Walker.average_cycles w)
+    (Walker.epsilon w ~io_latency_cycles:io_cycles)
+
+(* ------------------------------------------------------------------ *)
+(* A6: transparent huge pages vs static huge pages vs decoupling       *)
+(* ------------------------------------------------------------------ *)
+
+let rec thp () =
+  header "A6: THP (promotion + compaction) vs static huge pages vs decoupled";
+  let ram = 1 lsl 16 in
+  let warmup_n = scale_down 500_000 and measure_n = scale_down 500_000 in
+  (* Two hot-set layouts: dense (THP-friendly: whole regions promote)
+     and sparse (one hot page per region: promotion never triggers and
+     large coverage is wasted). *)
+  let mk_dense seed =
+    let rng = Prng.create ~seed () in
+    Bimodal.create ~hot_fraction:0.999 ~hot_pages:(1 lsl 12)
+      ~virtual_pages:(1 lsl 18) rng
+  in
+  let mk_sparse seed =
+    let rng = Prng.create ~seed () in
+    let hot = 1 lsl 12 in
+    let spread = 64 in
+    let virtual_pages = 1 lsl 18 in
+    let next () =
+      if Prng.float rng < 0.999 then Prng.int rng hot * spread
+      else Prng.int rng virtual_pages
+    in
+    {
+      Workload.name = "sparse-bimodal";
+      virtual_pages;
+      description = "hot pages strided 64 apart";
+      next;
+    }
+  in
+  run_thp_block ~title:"dense hot set" ~ram ~warmup_n ~measure_n mk_dense;
+  run_thp_block ~title:"sparse hot set (1 hot page per 64)" ~ram ~warmup_n
+    ~measure_n mk_sparse;
+  (* Under memory pressure, promoted regions are evicted whole and
+     re-filled whole: THP pays amplification the decoupled scheme
+     avoids. *)
+  let mk_pressure seed =
+    let rng = Prng.create ~seed () in
+    Bimodal.create ~hot_fraction:0.98 ~hot_pages:(1 lsl 12)
+      ~virtual_pages:(1 lsl 18) rng
+  in
+  run_thp_block ~title:"dense hot set under memory pressure (RAM 6000 pages)"
+    ~ram:6000 ~warmup_n ~measure_n mk_pressure
+
+and run_thp_block ~title ~ram ~warmup_n ~measure_n mk_workload =
+  Printf.printf "\n[%s]\n" title;
+  Printf.printf "%16s %12s %12s %12s %14s\n" "scheme" "IOs" "TLB misses"
+    "promotions" "cost(e=0.01)";
+  (* Static physical huge pages. *)
+  List.iter
+    (fun h ->
+      let w = mk_workload 1 in
+      let warmup = Workload.generate w warmup_n in
+      let trace = Workload.generate w measure_n in
+      let m =
+        Machine.create
+          { Machine.default_config with
+            ram_pages = ram; tlb_entries = 1536; huge_size = h }
+      in
+      let c = Machine.run ~warmup m trace in
+      Printf.printf "%16s %12d %12d %12s %14.1f\n%!"
+        (Printf.sprintf "static h=%d" h)
+        c.Machine.ios c.Machine.tlb_misses "-"
+        (Machine.cost ~epsilon c))
+    [ 1; 64; 512 ];
+  (* THP with a Cascade-Lake-style split TLB. *)
+  let w = mk_workload 1 in
+  let warmup = Workload.generate w warmup_n in
+  let trace = Workload.generate w measure_n in
+  let t =
+    Thp.create
+      { Thp.default_config with
+        ram_pages = ram; base_tlb_entries = 1536; huge_tlb_entries = 16;
+        huge_size = 512 }
+  in
+  let c = Thp.run ~warmup t trace in
+  Printf.printf "%16s %12d %12d %12d %14.1f   (fill-ios=%d compaction=%d)\n"
+    "THP h=512" c.Thp.ios c.Thp.tlb_misses c.Thp.promotions
+    (Thp.cost ~epsilon c) c.Thp.promotion_fill_ios c.Thp.compaction_evictions;
+  (* Reservation-based superpages (Navarro et al.). *)
+  let w = mk_workload 1 in
+  let warmup = Workload.generate w warmup_n in
+  let trace = Workload.generate w measure_n in
+  let sp =
+    Superpage.create
+      { Superpage.default_config with
+        ram_pages = ram; base_tlb_entries = 1536; huge_tlb_entries = 16;
+        huge_size = 512 }
+  in
+  let c = Superpage.run ~warmup sp trace in
+  Printf.printf
+    "%16s %12d %12d %12d %14.1f   (preempt=%d waste=%d)\n"
+    "superpage h=512" c.Superpage.ios c.Superpage.tlb_misses
+    c.Superpage.promotions
+    (Superpage.cost ~epsilon c)
+    c.Superpage.preemptions
+    (Superpage.reserved_unused_frames sp);
+  (* Decoupled. *)
+  let params = Params.derive ~p:ram ~w:64 () in
+  let w = mk_workload 1 in
+  let warmup = Workload.generate w warmup_n in
+  let trace = Workload.generate w measure_n in
+  let x = Policy.instantiate (module Lru) ~capacity:1536 () in
+  let y =
+    Policy.instantiate (module Lru) ~capacity:(Params.usable_pages params) ()
+  in
+  let z = Simulation.create ~params ~x ~y () in
+  let r = Simulation.run ~warmup z trace in
+  Printf.printf "%16s %12d %12d %12s %14.1f\n" "decoupled Z" r.Simulation.ios
+    r.Simulation.tlb_fills "-" (Simulation.cost ~epsilon r)
+
+(* ------------------------------------------------------------------ *)
+(* A10: the full bill — cycles per access through the whole VMM        *)
+(* ------------------------------------------------------------------ *)
+
+let vmm () =
+  header
+    "A10: end-to-end cycles per access (TLB + page walks + swap) through \
+     the full VMM";
+  let n = scale_down 500_000 in
+  let pages = 1 lsl 14 in
+  Printf.printf "%10s %10s | %14s %14s %14s %16s\n" "tlb" "ram" "tlb miss%"
+    "majors" "cyc/access" "translation %";
+  List.iter
+    (fun (tlb, ram) ->
+      let vm =
+        Vmm.create { Vmm.default_config with ram_pages = ram; tlb_entries = tlb }
+      in
+      Vmm.mmap vm ~start:0 ~pages;
+      let rng = Prng.create ~seed:51 () in
+      let zipf = Sampler.zipf ~s:0.9 ~n:pages in
+      (* warmup *)
+      for _ = 1 to n / 2 do
+        Vmm.read vm (zipf rng)
+      done;
+      Vmm.reset_counters vm;
+      for _ = 1 to n do
+        if Prng.float rng < 0.1 then Vmm.write vm (zipf rng)
+        else Vmm.read vm (zipf rng)
+      done;
+      let c = Vmm.counters vm in
+      Printf.printf "%10d %10d | %14.2f %14d %14.1f %16.1f\n%!" tlb ram
+        (100.0 *. float_of_int c.Vmm.tlb_misses /. float_of_int c.Vmm.accesses)
+        c.Vmm.major_faults
+        (Vmm.average_cycles_per_access vm)
+        (100.0 *. Vmm.translation_fraction vm))
+    [
+      (64, 1 lsl 14); (512, 1 lsl 14); (4096, 1 lsl 14);
+      (512, 1 lsl 12); (512, 1 lsl 13);
+    ];
+  (* The decoupled TLB in the same cycle terms: a TLB miss costs one
+     psi-table access plus the constant-time decode, not a 4-level
+     radix walk — the paper's constant-time property priced out. *)
+  let params = Params.derive ~p:(1 lsl 14) ~w:64 () in
+  let x = Policy.instantiate (module Lru) ~capacity:512 () in
+  let y =
+    Policy.instantiate (module Lru) ~capacity:(Params.usable_pages params) ()
+  in
+  let z = Simulation.create ~params ~x ~y () in
+  let rng = Prng.create ~seed:51 () in
+  let zipf = Sampler.zipf ~s:0.9 ~n:(1 lsl 14) in
+  let n = scale_down 500_000 in
+  for _ = 1 to n / 2 do
+    Simulation.access z (zipf rng)
+  done;
+  Simulation.reset_report z;
+  for _ = 1 to n do
+    Simulation.access z (zipf rng)
+  done;
+  let r = Simulation.report z in
+  let memory_latency = Walker.default_config.Walker.memory_latency in
+  let decode_cycles = 4 in
+  let cycles =
+    r.Simulation.accesses
+    + (r.Simulation.tlb_fills * (memory_latency + decode_cycles))
+  in
+  Printf.printf
+    "%10s %10d | %14.2f %14s %14.1f %16s   <- decoupled (1 access/miss)\n"
+    "512(Z)" (1 lsl 14)
+    (100.0 *. float_of_int r.Simulation.tlb_fills
+     /. float_of_int r.Simulation.accesses)
+    "-"
+    (float_of_int cycles /. float_of_int r.Simulation.accesses)
+    "-"
+
+(* ------------------------------------------------------------------ *)
+(* A7: per-core TLBs and shootdowns                                    *)
+(* ------------------------------------------------------------------ *)
+
+let smp () =
+  header "A7: multi-core TLBs — shared vs partitioned working sets";
+  let n = scale_down 1_000_000 in
+  let rng = Prng.create ~seed:23 () in
+  let zipf = Simple.zipf ~s:0.9 ~virtual_pages:(1 lsl 14) rng in
+  let warmup = Workload.generate zipf n in
+  let trace = Workload.generate zipf n in
+  Printf.printf "%8s %12s | %12s %10s %10s | %12s %10s %10s\n" "cores" "mode"
+    "TLB misses" "IOs" "IPIs" "TLB misses" "IOs" "IPIs";
+  Printf.printf "%8s %12s | %34s | %34s\n" "" "" "shared" "partitioned";
+  List.iter
+    (fun cores ->
+      (* Per-core TLB reach at or above RAM capacity, so eviction
+         victims are actually cached somewhere and shootdowns have
+         teeth (RAM here is the constrained resource). *)
+      let cfg =
+        { Smp.default_config with
+          cores;
+          ram_pages = 1 lsl 9;
+          tlb_entries_per_core = 1536 / cores;
+        }
+      in
+      let shared = Smp.run_shared ~warmup (Smp.create cfg) trace in
+      let part = Smp.run_partitioned ~warmup (Smp.create cfg) trace in
+      Printf.printf "%8d %12s | %12d %10d %10d | %12d %10d %10d\n%!" cores
+        "zipf" shared.Smp.tlb_misses shared.Smp.ios shared.Smp.ipis
+        part.Smp.tlb_misses part.Smp.ios part.Smp.ipis)
+    [ 1; 2; 4; 8 ];
+  (* Decoupling under per-core TLBs: hardware entries are copies, so a
+     residency change to a remotely covered huge page costs an update
+     notification — the concurrency price of ψ sharing. *)
+  Printf.printf
+    "\nDecoupled scheme under per-core TLBs (same trace, shared round-robin):\n";
+  Printf.printf "%8s %12s %10s %14s %12s\n" "cores" "TLB fills" "IOs"
+    "psi-update IPIs" "decode miss";
+  List.iter
+    (fun cores ->
+      let params = Params.derive ~p:(1 lsl 9) ~w:64 () in
+      let y =
+        Policy.instantiate (module Lru)
+          ~capacity:(Params.usable_pages params) ()
+      in
+      let t =
+        Smp_decoupled.create ~params ~cores
+          ~tlb_entries_per_core:(1536 / cores) ~y ()
+      in
+      let r = Smp_decoupled.run_shared ~warmup t trace in
+      Printf.printf "%8d %12d %10d %14d %12d\n%!" cores
+        r.Smp_decoupled.tlb_fills r.Smp_decoupled.ios
+        r.Smp_decoupled.psi_update_ipis r.Smp_decoupled.decoding_misses)
+    [ 1; 2; 4; 8 ]
+
+(* ------------------------------------------------------------------ *)
+(* A8: miss-ratio curves (how RAM sizes are chosen)                    *)
+(* ------------------------------------------------------------------ *)
+
+let mrc () =
+  header "A8: single-pass LRU miss-ratio curves (Mattson stack distances)";
+  let n = scale_down 1_000_000 in
+  let workloads =
+    [
+      ( "bimodal",
+        fun () ->
+          let rng = Prng.create ~seed:31 () in
+          Bimodal.create ~hot_fraction:0.999 ~hot_pages:(1 lsl 11)
+            ~virtual_pages:(1 lsl 18) rng );
+      ( "graph-walk",
+        fun () ->
+          let rng = Prng.create ~seed:32 () in
+          Graph_walk.create ~virtual_pages:(1 lsl 16) rng );
+      ( "zipf",
+        fun () ->
+          let rng = Prng.create ~seed:33 () in
+          Simple.zipf ~s:0.9 ~virtual_pages:(1 lsl 17) rng );
+    ]
+  in
+  let capacities = [ 256; 1024; 4096; 16384; 65536 ] in
+  Printf.printf "%12s %12s %10s |" "workload" "ws(99.9%)" "cold";
+  List.iter (fun c -> Printf.printf " %9s" (Printf.sprintf "c=%d" c)) capacities;
+  print_newline ();
+  List.iter
+    (fun (name, mk) ->
+      let trace = Workload.generate (mk ()) n in
+      let m = Mattson.of_trace trace in
+      Printf.printf "%12s %12d %10d |" name
+        (Mattson.working_set_size m ~fraction:0.999)
+        (Mattson.cold_misses m);
+      List.iter (fun c -> Printf.printf " %9d" (Mattson.misses m c)) capacities;
+      print_newline ())
+    workloads
+
+(* ------------------------------------------------------------------ *)
+(* A9: coalesced TLBs — contiguity helps only until fragmentation      *)
+(* ------------------------------------------------------------------ *)
+
+let coalesced () =
+  header
+    "A9: coalesced TLB (CoLT-style) reach under contiguous vs fragmented \
+     frame allocation";
+  let n = scale_down 500_000 in
+  let space = 1 lsl 16 in
+  let rng = Prng.create ~seed:41 () in
+  let w = Simple.zipf ~s:0.8 ~virtual_pages:space rng in
+  let trace = Workload.generate w n in
+  (* Two frame layouts: identity (perfect OS contiguity) and a random
+     permutation (fully fragmented memory). *)
+  let identity v = Some v in
+  let permutation =
+    let perm = Array.init space (fun i -> i) in
+    Prng.shuffle (Prng.create ~seed:42 ()) perm;
+    fun v -> Some perm.(v)
+  in
+  Printf.printf "%14s %12s %12s %14s %16s\n" "layout" "lookups" "misses"
+    "miss rate" "avg run length";
+  List.iter
+    (fun (name, pt) ->
+      let tlb = Atp_tlb.Coalesced.create ~max_run:8 ~entries:1536 () in
+      Array.iter
+        (fun v ->
+          match Atp_tlb.Coalesced.lookup tlb v with
+          | Some _ -> ()
+          | None ->
+            let frame = Option.get (pt v) in
+            ignore (Atp_tlb.Coalesced.fill tlb ~lookup_pt:pt ~vpage:v ~frame))
+        trace;
+      let s = Atp_tlb.Coalesced.stats tlb in
+      Printf.printf "%14s %12d %12d %14.4f %16.2f\n%!" name
+        s.Atp_tlb.Coalesced.lookups s.Atp_tlb.Coalesced.misses
+        (float_of_int s.Atp_tlb.Coalesced.misses
+         /. float_of_int (max 1 s.Atp_tlb.Coalesced.lookups))
+        (float_of_int s.Atp_tlb.Coalesced.coalesced_pages
+         /. float_of_int (max 1 s.Atp_tlb.Coalesced.fills)))
+    [ ("contiguous", identity); ("fragmented", permutation) ];
+  Printf.printf
+    "(decoupling needs no contiguity at all: its reach is h_max regardless \
+     of layout)\n"
+
+(* ------------------------------------------------------------------ *)
+(* A11: multiprogramming — ASIDs, flushes, and the L1/L2 hierarchy     *)
+(* ------------------------------------------------------------------ *)
+
+let multiprog () =
+  header "A11: multiprogramming a shared TLB — ASID tagging vs flush-on-switch";
+  let entries = 1536 in
+  let quantum = 1_000 in
+  let n = scale_down 400_000 in
+  Printf.printf "%10s %12s | %14s %14s %10s\n" "processes" "ws/process"
+    "misses (asid)" "misses (flush)" "ratio";
+  List.iter
+    (fun (procs, ws) ->
+      let mk_workloads () =
+        Array.init procs (fun i ->
+            let rng = Prng.create ~seed:(60 + i) () in
+            Simple.zipf ~s:0.9 ~virtual_pages:ws rng)
+      in
+      let run ~flush =
+        let t = Atp_tlb.Asid.create ~entries () in
+        let workloads = mk_workloads () in
+        let switches = n / quantum in
+        for s = 0 to switches - 1 do
+          let asid = s mod procs in
+          if flush then Atp_tlb.Asid.flush_all t;
+          let w = workloads.(asid) in
+          for _ = 1 to quantum do
+            let v = w.Workload.next () in
+            match Atp_tlb.Asid.lookup t ~asid v with
+            | Some _ -> ()
+            | None -> ignore (Atp_tlb.Asid.insert t ~asid v v)
+          done
+        done;
+        (Atp_tlb.Asid.stats t).Atp_tlb.Tlb.misses
+      in
+      let asid_misses = run ~flush:false in
+      let flush_misses = run ~flush:true in
+      Printf.printf "%10d %12d | %14d %14d %10.2f\n%!" procs ws asid_misses
+        flush_misses
+        (float_of_int flush_misses /. float_of_int (max 1 asid_misses)))
+    [ (1, 512); (2, 512); (4, 512); (8, 512); (4, 2048) ];
+  (* The L1/L2 hierarchy's effective latency across locality regimes. *)
+  Printf.printf "\nL1/L2 hierarchy average lookup latency (cycles):\n";
+  Printf.printf "%16s %12s %12s %12s\n" "workload" "avg cyc" "l1 miss%" "l2 miss%";
+  List.iter
+    (fun (name, mk) ->
+      let t = Atp_tlb.Hierarchy.create () in
+      let w = mk () in
+      for _ = 1 to scale_down 400_000 do
+        let v = w.Workload.next () in
+        match Atp_tlb.Hierarchy.lookup t v with
+        | Some _, _ -> ()
+        | None, _ -> Atp_tlb.Hierarchy.insert t v v
+      done;
+      let miss_pct (s : Atp_tlb.Tlb.stats) =
+        100.0 *. float_of_int s.Atp_tlb.Tlb.misses
+        /. float_of_int (max 1 s.Atp_tlb.Tlb.lookups)
+      in
+      Printf.printf "%16s %12.2f %12.1f %12.1f\n%!" name
+        (Atp_tlb.Hierarchy.average_latency t)
+        (miss_pct (Atp_tlb.Hierarchy.l1_stats t))
+        (miss_pct (Atp_tlb.Hierarchy.l2_stats t)))
+    [
+      ( "zipf",
+        fun () ->
+          Simple.zipf ~s:0.9 ~virtual_pages:(1 lsl 16) (Prng.create ~seed:71 ()) );
+      ("stencil", fun () -> Hpc.stencil ~rows:256 ~cols:512 ());
+      ( "gups",
+        fun () -> Hpc.gups ~table_pages:(1 lsl 16) (Prng.create ~seed:72 ()) );
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* A12: HPC kernels through the Figure 1 sweep (both sides of the      *)
+(*      huge-page coin)                                                *)
+(* ------------------------------------------------------------------ *)
+
+let hpcfigs () =
+  header
+    "A12: HPC kernels under the huge-page sweep — dense kernels love huge \
+     pages, sparse ones drown in IO";
+  let ram = 1 lsl 16 in
+  let n = scale_down 1_000_000 in
+  let sweep name (w : Workload.t) =
+    let warmup = Workload.generate w n in
+    let trace = Workload.generate w n in
+    Printf.printf "\n[%s] %s\n" name w.Workload.description;
+    Printf.printf "%8s %14s %14s %14s\n" "h" "IOs" "TLB misses" "cost(e=0.01)";
+    let rows =
+      Parallel.map
+        (fun h ->
+          let m =
+            Machine.create
+              { Machine.default_config with
+                ram_pages = ram; tlb_entries = 256; huge_size = h }
+          in
+          (h, Machine.run ~warmup m trace))
+        [ 1; 16; 256 ]
+    in
+    List.iter
+      (fun (h, c) ->
+        Printf.printf "%8d %14d %14d %14.1f\n%!" h c.Machine.ios
+          c.Machine.tlb_misses (Machine.cost ~epsilon c))
+      rows
+  in
+  sweep "stencil" (Hpc.stencil ~rows:512 ~cols:1024 ());
+  sweep "multistream" (Hpc.multistream ~streams:8 ~virtual_pages:(1 lsl 17) ());
+  sweep "gups" (Hpc.gups ~table_pages:(1 lsl 17) (Prng.create ~seed:81 ()));
+  sweep "pointer-chase"
+    (Hpc.pointer_chase ~working_set:(1 lsl 14) ~virtual_pages:(1 lsl 17)
+       (Prng.create ~seed:82 ()))
+
+(* ------------------------------------------------------------------ *)
+(* A14: iceberg hashing as a dictionary; translation prefetching       *)
+(* ------------------------------------------------------------------ *)
+
+let iceberg () =
+  header
+    "A14: Iceberg hashing as a dictionary (probe costs, front-yard \
+     residency) and TEMPO-style prefetch";
+  let open Atp_ballsbins in
+  let capacity = 1 lsl 16 in
+  Printf.printf "%8s %14s %14s %14s %12s\n" "load" "avg probes" "front frac"
+    "spill" "vs Hashtbl";
+  List.iter
+    (fun load ->
+      let t = Iceberg_table.create ~capacity () in
+      let n = int_of_float (float_of_int capacity *. load) in
+      for k = 0 to n - 1 do
+        Iceberg_table.insert t k k
+      done;
+      Iceberg_table.reset_stats t;
+      let rng = Prng.create ~seed:101 () in
+      let lookups = scale_down 400_000 in
+      let t0 = Sys.time () in
+      for _ = 1 to lookups do
+        ignore (Iceberg_table.find t (Prng.int rng n))
+      done;
+      let iceberg_time = Sys.time () -. t0 in
+      let reference = Hashtbl.create capacity in
+      for k = 0 to n - 1 do Hashtbl.replace reference k k done;
+      let rng = Prng.create ~seed:101 () in
+      let t0 = Sys.time () in
+      for _ = 1 to lookups do
+        ignore (Hashtbl.find_opt reference (Prng.int rng n))
+      done;
+      let hashtbl_time = Sys.time () -. t0 in
+      let s = Iceberg_table.stats t in
+      Printf.printf "%8.2f %14.2f %14.3f %14d %11.2fx\n%!" load
+        (float_of_int s.Iceberg_table.slots_probed
+         /. float_of_int (max 1 s.Iceberg_table.lookups))
+        (Iceberg_table.front_yard_fraction t)
+        (Iceberg_table.overflow_count t)
+        (iceberg_time /. Float.max 1e-9 hashtbl_time))
+    [ 0.25; 0.5; 0.75; 0.9; 1.0 ];
+  (* Prefetch: the optimization whose payoff huge pages erode (§7). *)
+  Printf.printf "\nTEMPO-style next-page prefetch (64-entry TLB, degree 2):\n";
+  Printf.printf "%14s %14s %14s %12s\n" "workload" "misses (off)" "misses (on)"
+    "accuracy";
+  let pt v = if v >= 0 then Some v else None in
+  let n = scale_down 400_000 in
+  List.iter
+    (fun (name, mk) ->
+      let run degree =
+        let t = Atp_tlb.Prefetch.create ~degree ~entries:64 ~translate:pt () in
+        let w : Workload.t = mk () in
+        for _ = 1 to n do
+          ignore (Atp_tlb.Prefetch.lookup t (w.Workload.next ()))
+        done;
+        t
+      in
+      let off = run 0 and on_ = run 2 in
+      Printf.printf "%14s %14d %14d %12.3f\n%!" name
+        (Atp_tlb.Prefetch.stats off).Atp_tlb.Prefetch.demand_misses
+        (Atp_tlb.Prefetch.stats on_).Atp_tlb.Prefetch.demand_misses
+        (Atp_tlb.Prefetch.accuracy on_))
+    [
+      ("sequential", fun () -> Simple.sequential ~virtual_pages:(1 lsl 14) ());
+      ("stencil", fun () -> Hpc.stencil ~rows:128 ~cols:512 ());
+      ( "gups",
+        fun () -> Hpc.gups ~table_pages:(1 lsl 14) (Prng.create ~seed:103 ()) );
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* B1: microbenchmarks (Bechamel)                                      *)
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  header "B1: microbenchmarks (ns per operation, OLS fit)";
+  let open Bechamel in
+  let open Toolkit in
+  (* One Test.make per core operation and per figure pipeline step. *)
+  let lru_test =
+    let inst = Policy.instantiate (module Lru) ~capacity:4096 () in
+    let rng = Prng.create ~seed:1 () in
+    Test.make ~name:"lru-access"
+      (Staged.stage (fun () ->
+           ignore (inst.Policy.access (Prng.int rng 16_384))))
+  in
+  let tlb_test =
+    let tlb = Atp_tlb.Tlb.create ~entries:1536 () in
+    let rng = Prng.create ~seed:2 () in
+    Test.make ~name:"tlb-lookup+fill"
+      (Staged.stage (fun () ->
+           let u = Prng.int rng 8192 in
+           match Atp_tlb.Tlb.lookup tlb u with
+           | Some _ -> ()
+           | None -> ignore (Atp_tlb.Tlb.insert tlb u u)))
+  in
+  let alloc_test =
+    let params = Params.derive ~p:(1 lsl 16) ~w:64 () in
+    let a = Alloc.create params in
+    let budget = Params.usable_pages params in
+    let rng = Prng.create ~seed:3 () in
+    Test.make ~name:"iceberg-churn"
+      (Staged.stage (fun () ->
+           let page = Prng.int rng (1 lsl 18) in
+           if Alloc.mem a page then Alloc.delete a page
+           else if Alloc.live a < budget then ignore (Alloc.insert a page)))
+  in
+  let decode_test =
+    let params = Params.derive ~p:(1 lsl 16) ~w:64 () in
+    let a = Alloc.create params in
+    let e = Encoding.create a in
+    let value = Encoding.empty_value e in
+    for i = 0 to Encoding.h_max e - 1 do
+      ignore (Alloc.insert a i);
+      Encoding.refresh_page e value i
+    done;
+    let rng = Prng.create ~seed:4 () in
+    Test.make ~name:"tlb-decode-f"
+      (Staged.stage (fun () ->
+           ignore (Encoding.decode e (Prng.int rng (Encoding.h_max e)) value)))
+  in
+  let machine_test =
+    let m =
+      Machine.create
+        { Machine.default_config with
+          ram_pages = 1 lsl 14; tlb_entries = 512; huge_size = 8 }
+    in
+    let rng = Prng.create ~seed:5 () in
+    Test.make ~name:"machine-access(fig1-step)"
+      (Staged.stage (fun () -> Machine.access m (Prng.int rng (1 lsl 16))))
+  in
+  let sim_test =
+    let params = Params.derive ~p:(1 lsl 14) ~w:64 () in
+    let x = Policy.instantiate (module Lru) ~capacity:512 () in
+    let y =
+      Policy.instantiate (module Lru) ~capacity:(Params.usable_pages params) ()
+    in
+    let z = Simulation.create ~params ~x ~y () in
+    let rng = Prng.create ~seed:6 () in
+    Test.make ~name:"simulation-access(Z-step)"
+      (Staged.stage (fun () -> Simulation.access z (Prng.int rng (1 lsl 16))))
+  in
+  let tests =
+    [ lru_test; tlb_test; alloc_test; decode_test; machine_test; sim_test ]
+  in
+  let grouped = Test.make_grouped ~name:"atp" tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000
+      ~quota:(Time.second (if quick then 0.25 else 0.5))
+      ~kde:(Some 1000) ()
+  in
+  let raw = Benchmark.all cfg instances grouped in
+  let results = List.map (fun i -> Analyze.all ols i raw) instances in
+  let merged = Analyze.merge ols instances results in
+  Hashtbl.iter
+    (fun measure per_test ->
+      if String.equal measure (Measure.label Instance.monotonic_clock) then
+        Hashtbl.iter
+          (fun name ols_result ->
+            match Analyze.OLS.estimates ols_result with
+            | Some [ est ] -> Printf.printf "%-36s %12.1f ns/op\n" name est
+            | _ -> Printf.printf "%-36s %12s\n" name "n/a")
+          per_test)
+    merged
+
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [
+    ("fig1a", fig1a);
+    ("fig1b", fig1b);
+    ("fig1c", fig1c);
+    ("decoupling", decoupling);
+    ("ballsbins", ballsbins);
+    ("failures", failures);
+    ("hybrid", hybrid);
+    ("eps", eps);
+    ("vmm", vmm);
+    ("thp", thp);
+    ("smp", smp);
+    ("mrc", mrc);
+    ("coalesced", coalesced);
+    ("multiprog", multiprog);
+    ("hpcfigs", hpcfigs);
+    ("competitive", competitive);
+    ("iceberg", iceberg);
+    ("micro", micro);
+  ]
+
+let () =
+  let requested =
+    Array.to_list Sys.argv |> List.tl
+    |> List.filter (fun a ->
+           not (String.length a >= 2 && String.sub a 0 2 = "--"))
+  in
+  let to_run =
+    if requested = [] then experiments
+    else
+      List.map
+        (fun name ->
+          match List.assoc_opt name experiments with
+          | Some f -> (name, f)
+          | None ->
+            Printf.eprintf "unknown experiment %S; known: %s\n" name
+              (String.concat ", " (List.map fst experiments));
+            exit 2)
+        requested
+  in
+  Printf.printf "atp benchmark harness%s\n" (if quick then " (quick mode)" else "");
+  List.iter (fun (_, f) -> f ()) to_run;
+  Printf.printf "\n%s\ndone.\n" hline

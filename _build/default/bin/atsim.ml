@@ -1,0 +1,433 @@
+(* atsim: the command-line driver for the address-translation
+   simulator.
+
+     atsim params    — print derived decoupling parameters
+     atsim sweep     — Figure-1-style huge-page-size sweep on a workload
+     atsim decoupled — run the combined algorithm Z on a workload
+     atsim policies  — compare paging policies on a workload
+     atsim ballsbins — compare balls-and-bins strategies
+     atsim trace     — generate a trace file
+
+   Every command is deterministic given --seed. *)
+
+open Cmdliner
+open Atp_core
+open Atp_memsim
+open Atp_paging
+open Atp_workloads
+open Atp_util
+
+(* ------------------------------------------------------------------ *)
+(* Shared arguments                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"PRNG seed.")
+
+let ram_arg =
+  Arg.(
+    value
+    & opt int (1 lsl 18)
+    & info [ "ram" ] ~docv:"PAGES" ~doc:"Physical memory size in 4 KiB pages.")
+
+let tlb_arg =
+  Arg.(
+    value & opt int 1536
+    & info [ "tlb" ] ~docv:"ENTRIES" ~doc:"TLB entry count (the paper uses 1536).")
+
+let epsilon_arg =
+  Arg.(
+    value & opt float 0.01
+    & info [ "epsilon" ] ~docv:"E" ~doc:"TLB-miss cost ε in the AT cost model.")
+
+let accesses_arg =
+  Arg.(
+    value & opt int 1_000_000
+    & info [ "accesses"; "n" ] ~docv:"N" ~doc:"Measured accesses.")
+
+let warmup_arg =
+  Arg.(
+    value & opt int 1_000_000
+    & info [ "warmup" ] ~docv:"N" ~doc:"Warmup accesses (not counted).")
+
+let w_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "w" ] ~docv:"BITS" ~doc:"Bits per TLB value (hardware constant).")
+
+let workload_conv =
+  Arg.enum
+    [
+      ("bimodal", `Bimodal);
+      ("walk", `Walk);
+      ("graph500", `Graph500);
+      ("zipf", `Zipf);
+      ("uniform", `Uniform);
+      ("sequential", `Sequential);
+    ]
+
+let workload_arg =
+  Arg.(
+    value
+    & opt workload_conv `Bimodal
+    & info [ "workload" ] ~docv:"NAME"
+        ~doc:
+          "Workload: bimodal | walk | graph500 | zipf | uniform | sequential.")
+
+let vpages_arg =
+  Arg.(
+    value
+    & opt int (1 lsl 20)
+    & info [ "vpages" ] ~docv:"PAGES"
+        ~doc:"Virtual address space size in pages (ignored by graph500).")
+
+let scheme_conv =
+  Arg.enum [ ("iceberg", `Iceberg); ("one-choice", `One_choice) ]
+
+let scheme_arg =
+  Arg.(
+    value & opt scheme_conv `Iceberg
+    & info [ "scheme" ] ~docv:"NAME" ~doc:"Allocation scheme: iceberg | one-choice.")
+
+let policy_arg ~name ~default ~doc =
+  Arg.(
+    value
+    & opt (enum (List.map (fun n -> (n, n)) Registry.names)) default
+    & info [ name ] ~docv:"POLICY" ~doc)
+
+let trace_file_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-file" ] ~docv:"PATH"
+        ~doc:"Replay a recorded trace file instead of a synthetic workload.")
+
+let mk_synthetic_workload kind ~vpages ~seed =
+  let rng = Prng.create ~seed () in
+  match kind with
+  | `Bimodal ->
+    Bimodal.create ~hot_pages:(max 1 (vpages / 64)) ~virtual_pages:vpages rng
+  | `Walk -> Graph_walk.create ~virtual_pages:vpages rng
+  | `Graph500 ->
+    let scale =
+      (* Pick the scale whose footprint lands near the requested space. *)
+      let rec fit s =
+        if s >= 20 then 20
+        else
+          let v = 1 lsl s in
+          (* footprint is dominated by 2·16·V edges of 8 bytes *)
+          if 2 * 16 * v * 8 / 4096 >= vpages then s else fit (s + 1)
+      in
+      fit 10
+    in
+    let csr = Kronecker.generate ~scale ~edge_factor:16 rng in
+    fst (Graph500.create_from csr rng)
+  | `Zipf -> Simple.zipf ~virtual_pages:vpages rng
+  | `Uniform -> Simple.uniform ~virtual_pages:vpages rng
+  | `Sequential -> Simple.sequential ~virtual_pages:vpages ()
+
+let mk_workload ?trace_file kind ~vpages ~seed =
+  match trace_file with
+  | Some path -> Trace.workload_of_file path
+  | None -> mk_synthetic_workload kind ~vpages ~seed
+
+let scheme_of = function
+  | `Iceberg -> Params.Iceberg { d = 2 }
+  | `One_choice -> Params.One_choice
+
+(* ------------------------------------------------------------------ *)
+(* params                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let params_cmd =
+  let run ram w scheme =
+    let params = Params.derive ~scheme:(scheme_of scheme) ~p:ram ~w () in
+    Format.printf "%a@." Params.pp params
+  in
+  Cmd.v
+    (Cmd.info "params" ~doc:"Print the derived decoupling-scheme parameters.")
+    Term.(const run $ ram_arg $ w_arg $ scheme_arg)
+
+(* ------------------------------------------------------------------ *)
+(* sweep                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let sweep_cmd =
+  let run workload vpages ram tlb epsilon accesses warmup seed trace_file =
+    Format.printf "%8s %14s %14s %14s@." "h" "IOs" "TLB misses"
+      (Printf.sprintf "cost(e=%g)" epsilon);
+    List.iter
+      (fun h ->
+        let w = mk_workload ?trace_file workload ~vpages ~seed in
+        let warmup_trace = Workload.generate w warmup in
+        let trace = Workload.generate w accesses in
+        let m =
+          Machine.create
+            { Machine.default_config with
+              ram_pages = ram; tlb_entries = tlb; huge_size = h; epsilon }
+        in
+        let c = Machine.run ~warmup:warmup_trace m trace in
+        Format.printf "%8d %14d %14d %14.1f@." h c.Machine.ios
+          c.Machine.tlb_misses
+          (Machine.cost ~epsilon c))
+      [ 1; 2; 4; 8; 16; 32; 64; 128; 256; 512; 1024 ]
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:"Huge-page-size sweep (the Figure 1 experiment) on a workload.")
+    Term.(
+      const run $ workload_arg $ vpages_arg $ ram_arg $ tlb_arg $ epsilon_arg
+      $ accesses_arg $ warmup_arg $ seed_arg $ trace_file_arg)
+
+(* ------------------------------------------------------------------ *)
+(* decoupled                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let decoupled_cmd =
+  let run workload vpages ram tlb epsilon accesses warmup seed w scheme xp yp =
+    let params = Params.derive ~scheme:(scheme_of scheme) ~p:ram ~w () in
+    Format.printf "%a@.@." Params.pp params;
+    let wl = mk_workload workload ~vpages ~seed in
+    let warmup_trace = Workload.generate wl warmup in
+    let trace = Workload.generate wl accesses in
+    let rng = Prng.create ~seed:(seed + 1) () in
+    let x =
+      Policy.instantiate (Registry.find_exn xp) ~rng:(Prng.split rng)
+        ~capacity:tlb ()
+    in
+    let y =
+      Policy.instantiate (Registry.find_exn yp) ~rng:(Prng.split rng)
+        ~capacity:(Params.usable_pages params) ()
+    in
+    let z = Simulation.create ~seed ~params ~x ~y () in
+    let r = Simulation.run ~warmup:warmup_trace z trace in
+    Format.printf "%a@." Simulation.pp_report r;
+    Format.printf "C(Z) = %.2f   C_TLB(X) = %.2f   C_IO(Y) = %.2f@."
+      (Simulation.cost ~epsilon r)
+      (Simulation.c_tlb ~epsilon r)
+      (Simulation.c_io r)
+  in
+  Cmd.v
+    (Cmd.info "decoupled"
+       ~doc:
+         "Run the combined memory-management algorithm Z (Theorem 4) on a \
+          workload.")
+    Term.(
+      const run $ workload_arg $ vpages_arg $ ram_arg $ tlb_arg $ epsilon_arg
+      $ accesses_arg $ warmup_arg $ seed_arg $ w_arg $ scheme_arg
+      $ policy_arg ~name:"x-policy" ~default:"lru"
+          ~doc:"TLB-replacement policy (X)."
+      $ policy_arg ~name:"y-policy" ~default:"lru"
+          ~doc:"RAM-replacement policy (Y).")
+
+(* ------------------------------------------------------------------ *)
+(* policies                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let policies_cmd =
+  let run workload vpages accesses warmup seed capacity =
+    let wl = mk_workload workload ~vpages ~seed in
+    let warmup_trace = Workload.generate wl warmup in
+    let trace = Workload.generate wl accesses in
+    Format.printf "%-10s %14s %14s %12s@." "policy" "hits" "misses" "miss rate";
+    List.iter
+      (fun (module P : Policy.S) ->
+        let rng = Prng.create ~seed:(seed + 7) () in
+        let inst = Policy.instantiate (module P) ~rng ~capacity () in
+        Array.iter (fun p -> ignore (inst.Policy.access p)) warmup_trace;
+        let stats = Sim.run inst trace in
+        Format.printf "%-10s %14d %14d %12.4f@." P.name stats.Sim.hits
+          stats.Sim.misses (Sim.miss_rate stats))
+      Registry.all;
+    (* Offline optimum on the measured window for reference. *)
+    let opt = Opt.misses ~capacity (Array.append warmup_trace trace) in
+    Format.printf "%-10s %14s %14d %12s   (whole run incl. warmup)@." "opt" "-"
+      opt "-"
+  in
+  Cmd.v
+    (Cmd.info "policies" ~doc:"Compare paging policies on a workload.")
+    Term.(
+      const run $ workload_arg $ vpages_arg $ accesses_arg $ warmup_arg
+      $ seed_arg
+      $ Arg.(
+          value & opt int 4096
+          & info [ "capacity" ] ~docv:"PAGES" ~doc:"Cache capacity in pages."))
+
+(* ------------------------------------------------------------------ *)
+(* ballsbins                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let ballsbins_cmd =
+  let run bins lambda steps seed =
+    let open Atp_ballsbins in
+    let m = lambda * bins in
+    Format.printf "%-12s %10s %10s %10s@." "strategy" "max ever" "max final"
+      "failed";
+    let tau = Strategy.default_tau ~m ~bins in
+    List.iter
+      (fun (mk, layers) ->
+        let rng = Prng.create ~seed () in
+        let strategy = mk rng in
+        let game = Game.create ~layers ~bins () in
+        let arng = Prng.create ~seed:(seed + 1) () in
+        let ops = Adversary.churn arng ~m ~steps ~fresh:true in
+        let r =
+          Runner.run ~bin_capacity:(tau + 8) ~game ~strategy ops
+        in
+        Format.printf "%-12s %10d %10d %10d@." strategy.Strategy.name
+          r.Runner.max_load_ever r.Runner.max_load_final r.Runner.failed_balls)
+      [
+        ((fun rng -> Strategy.one_choice rng ~bins), 1);
+        ((fun rng -> Strategy.greedy rng ~d:2 ~bins), 1);
+        ((fun rng -> Strategy.iceberg rng ~tau ~bins ()), 2);
+      ]
+  in
+  Cmd.v
+    (Cmd.info "ballsbins"
+       ~doc:"Compare balls-and-bins strategies under a churn adversary.")
+    Term.(
+      const run
+      $ Arg.(
+          value & opt int 4096
+          & info [ "bins" ] ~docv:"N" ~doc:"Number of bins.")
+      $ Arg.(
+          value & opt int 12
+          & info [ "lambda" ] ~docv:"L" ~doc:"Average load m/n.")
+      $ Arg.(
+          value & opt int 500_000
+          & info [ "steps" ] ~docv:"N" ~doc:"Churn rounds after the fill.")
+      $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* trace                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let trace_cmd =
+  let run workload vpages accesses seed out binary =
+    let wl = mk_workload workload ~vpages ~seed in
+    let trace = Workload.generate wl accesses in
+    if binary then Trace.save_binary out trace else Trace.save_text out trace;
+    let s = Trace.summarize trace in
+    Format.printf "wrote %s: %a@." out Trace.pp_summary s
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Generate a page-reference trace file.")
+    Term.(
+      const run $ workload_arg $ vpages_arg $ accesses_arg $ seed_arg
+      $ Arg.(
+          required
+          & opt (some string) None
+          & info [ "out"; "o" ] ~docv:"PATH" ~doc:"Output path.")
+      $ Arg.(value & flag & info [ "binary" ] ~doc:"Binary format (default text)."))
+
+(* ------------------------------------------------------------------ *)
+(* mrc                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let mrc_cmd =
+  let run workload vpages accesses seed =
+    let wl = mk_workload workload ~vpages ~seed in
+    let trace = Workload.generate wl accesses in
+    let m = Mattson.of_trace trace in
+    Format.printf "accesses=%d cold=%d distinct=%d ws(99.9%%)=%d@." accesses
+      (Mattson.cold_misses m) (Mattson.distinct_pages m)
+      (Mattson.working_set_size m ~fraction:0.999);
+    Format.printf "%12s %14s %12s@." "capacity" "misses" "miss rate";
+    let rec caps c acc = if c > vpages then List.rev acc else caps (c * 4) (c :: acc) in
+    List.iter
+      (fun c ->
+        let misses = Mattson.misses m c in
+        Format.printf "%12d %14d %12.4f@." c misses
+          (float_of_int misses /. float_of_int accesses))
+      (caps 64 [])
+  in
+  Cmd.v
+    (Cmd.info "mrc"
+       ~doc:"LRU miss-ratio curve of a workload (single-pass Mattson).")
+    Term.(const run $ workload_arg $ vpages_arg $ accesses_arg $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* thp                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let thp_cmd =
+  let run workload vpages ram accesses warmup seed huge_size =
+    let wl = mk_workload workload ~vpages ~seed in
+    let warmup_trace = Workload.generate wl warmup in
+    let trace = Workload.generate wl accesses in
+    let t =
+      Thp.create { Thp.default_config with ram_pages = ram; huge_size }
+    in
+    let c = Thp.run ~warmup:warmup_trace t trace in
+    Format.printf "%a@." Thp.pp_counters c;
+    Format.printf "promoted regions now: %d; cost(e=0.01) = %.1f@."
+      (Thp.promoted_regions t)
+      (Thp.cost ~epsilon:0.01 c)
+  in
+  Cmd.v
+    (Cmd.info "thp"
+       ~doc:"Run the transparent-huge-pages OS model on a workload.")
+    Term.(
+      const run $ workload_arg $ vpages_arg $ ram_arg $ accesses_arg
+      $ warmup_arg $ seed_arg
+      $ Arg.(
+          value & opt int 512
+          & info [ "huge-size" ] ~docv:"PAGES"
+              ~doc:"Huge-page size in base pages (power of two)."))
+
+(* ------------------------------------------------------------------ *)
+(* compare                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let compare_cmd =
+  let run workload vpages ram tlb epsilon accesses warmup seed huge_size =
+    let wl = mk_workload workload ~vpages ~seed in
+    let warmup_trace = Workload.generate wl warmup in
+    let trace = Workload.generate wl accesses in
+    let schemes =
+      [
+        Atp_core.Scheme.physical ~tlb_entries:tlb ~ram_pages:ram ~huge_size:1 ();
+        Atp_core.Scheme.physical ~tlb_entries:tlb ~ram_pages:ram ~huge_size ();
+        Atp_core.Scheme.thp ~base_tlb_entries:tlb ~ram_pages:ram ~huge_size ();
+        Atp_core.Scheme.superpage ~base_tlb_entries:tlb ~ram_pages:ram
+          ~huge_size ();
+        Atp_core.Scheme.decoupled ~tlb_entries:tlb ~ram_pages:ram ~w:64 ();
+        Atp_core.Scheme.hybrid ~tlb_entries:tlb ~ram_pages:ram ~chunk:4 ~w:64 ();
+      ]
+    in
+    Format.printf "%-16s %14s %14s %14s@." "scheme" "IOs" "TLB events"
+      (Printf.sprintf "cost(e=%g)" epsilon);
+    List.iter
+      (fun (name, ios, tlb_events, cost) ->
+        Format.printf "%-16s %14d %14d %14.1f@." name ios tlb_events cost)
+      (Atp_core.Scheme.compare_all ~warmup:warmup_trace ~epsilon schemes trace)
+  in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:
+         "Compare every memory-management scheme (physical, THP, superpage, \
+          decoupled, hybrid) on one workload.")
+    Term.(
+      const run $ workload_arg $ vpages_arg $ ram_arg $ tlb_arg $ epsilon_arg
+      $ accesses_arg $ warmup_arg $ seed_arg
+      $ Arg.(
+          value & opt int 512
+          & info [ "huge-size" ] ~docv:"PAGES" ~doc:"Huge/super page size."))
+
+let () =
+  let doc = "Paging and the address-translation problem: simulators and schemes" in
+  let info = Cmd.info "atsim" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            params_cmd;
+            sweep_cmd;
+            decoupled_cmd;
+            policies_cmd;
+            ballsbins_cmd;
+            trace_cmd;
+            mrc_cmd;
+            thp_cmd;
+            compare_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/ballsbins_demo.ml: Adversary Atp_ballsbins Atp_util Format Game List Prng Runner Strategy

@@ -1,0 +1,1 @@
+examples/ballsbins_demo.mli:

@@ -1,0 +1,1 @@
+examples/buffer_pool.ml: Arc Array Atp_core Atp_paging Atp_util Atp_workloads Format List Lru Opt Params Policy Prng Simple Simulation Two_q Workload

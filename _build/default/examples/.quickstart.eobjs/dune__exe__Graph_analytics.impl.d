@@ -1,0 +1,1 @@
+examples/graph_analytics.ml: Atp_core Atp_memsim Atp_paging Atp_util Atp_workloads Format Graph500 Graph_walk Kronecker List Lru Machine Params Policy Prng Simulation Workload

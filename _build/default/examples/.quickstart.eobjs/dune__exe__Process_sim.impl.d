@@ -1,0 +1,1 @@
+examples/process_sim.ml: Array Atp_memsim Atp_util Atp_workloads Format Graph500 Kronecker Prng Vmm Workload

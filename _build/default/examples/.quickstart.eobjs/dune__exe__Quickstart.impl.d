@@ -1,0 +1,1 @@
+examples/quickstart.ml: Atp_core Atp_memsim Atp_paging Atp_util Atp_workloads Bimodal Format List Lru Params Policy Prng Simulation Workload

@@ -1,0 +1,1 @@
+lib/ballsbins/adversary.ml: Array Atp_util List Page_list Prng Queue Seq

@@ -1,0 +1,1 @@
+lib/ballsbins/adversary.mli: Atp_util Seq

@@ -1,0 +1,1 @@
+lib/ballsbins/game.ml: Array Atp_util Int_table

@@ -1,0 +1,1 @@
+lib/ballsbins/game.mli:

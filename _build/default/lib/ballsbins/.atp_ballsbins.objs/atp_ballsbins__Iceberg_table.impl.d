@@ -1,0 +1,1 @@
+lib/ballsbins/iceberg_table.ml: Array Atp_util Hashing Hashtbl Prng

@@ -1,0 +1,1 @@
+lib/ballsbins/iceberg_table.mli:

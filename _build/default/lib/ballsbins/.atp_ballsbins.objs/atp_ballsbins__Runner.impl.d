@@ -1,0 +1,1 @@
+lib/ballsbins/runner.ml: Adversary Atp_util Format Game Int_table Option Seq Stats Strategy

@@ -1,0 +1,1 @@
+lib/ballsbins/runner.mli: Adversary Format Game Seq Strategy

@@ -1,0 +1,1 @@
+lib/ballsbins/strategy.ml: Atp_util Game Hashing Printf

@@ -1,0 +1,1 @@
+lib/ballsbins/strategy.mli: Atp_util Game

@@ -1,0 +1,94 @@
+open Atp_util
+
+type op =
+  | Insert of int
+  | Delete of int
+
+let arrivals ~m = Seq.init m (fun i -> Insert i)
+
+(* A resizable pool of live ball ids supporting O(1) uniform pick and
+   swap-remove. *)
+module Pool = struct
+  type t = { mutable ids : int array; mutable size : int }
+
+  let create () = { ids = Array.make 16 0; size = 0 }
+
+  let add t id =
+    if t.size = Array.length t.ids then begin
+      let n = Array.make (2 * t.size) 0 in
+      Array.blit t.ids 0 n 0 t.size;
+      t.ids <- n
+    end;
+    t.ids.(t.size) <- id;
+    t.size <- t.size + 1
+
+  let pick_and_remove t rng =
+    let i = Prng.int rng t.size in
+    let id = t.ids.(i) in
+    t.ids.(i) <- t.ids.(t.size - 1);
+    t.size <- t.size - 1;
+    id
+end
+
+let churn rng ~m ~steps ~fresh =
+  let fill = Seq.init m (fun i -> Insert i) in
+  (* State threaded lazily: (pool of live ids, recycled ids, next fresh id). *)
+  let pool = Pool.create () in
+  for i = 0 to m - 1 do Pool.add pool i done;
+  let next_id = ref m in
+  let recycled = Queue.create () in
+  let step _ =
+    let victim = Pool.pick_and_remove pool rng in
+    let incoming =
+      if fresh then begin
+        let id = !next_id in
+        incr next_id;
+        id
+      end
+      else begin
+        Queue.push victim recycled;
+        (* Recycle an id deleted a while ago, not necessarily the one
+           just removed, so re-insertions interleave. *)
+        if Queue.length recycled > 8 then Queue.pop recycled
+        else begin
+          let id = !next_id in
+          incr next_id;
+          id
+        end
+      end
+    in
+    Pool.add pool incoming;
+    List.to_seq [ Delete victim; Insert incoming ]
+  in
+  Seq.append fill (Seq.concat_map step (Seq.init steps (fun i -> i)))
+
+let fifo_churn ~m ~steps =
+  let fill = Seq.init m (fun i -> Insert i) in
+  let step i = List.to_seq [ Delete i; Insert (m + i) ] in
+  Seq.append fill (Seq.concat_map step (Seq.init steps (fun i -> i)))
+
+let sliding_window ~m ~universe ~steps rng =
+  if universe < m then invalid_arg "Adversary.sliding_window: universe too small";
+  (* LRU over requested pages: the live set is the m most recent
+     distinct pages. *)
+  let lru = Page_list.create () in
+  let step _ =
+    let page = Prng.int rng universe in
+    if Page_list.mem lru page then begin
+      (* Refresh recency: stability forbids moving a placed ball, so
+         model the refresh as delete + reinsert of the same id. *)
+      ignore (Page_list.remove lru page);
+      Page_list.push_front lru page;
+      List.to_seq [ Delete page; Insert page ]
+    end
+    else begin
+      Page_list.push_front lru page;
+      if Page_list.length lru > m then begin
+        match Page_list.pop_back lru with
+        | None -> assert false
+        | Some victim -> List.to_seq [ Delete victim; Insert page ]
+      end
+      else List.to_seq [ Insert page ]
+    end
+  in
+  Seq.concat_map step (Seq.init steps (fun i -> i))

@@ -1,0 +1,28 @@
+(** Oblivious adversaries: insertion/deletion sequences generated
+    without knowledge of the strategy's hash seeds, as the model in
+    Section 4 requires. *)
+
+type op =
+  | Insert of int  (** ball id *)
+  | Delete of int
+
+val arrivals : m:int -> op Seq.t
+(** Insert balls [0 .. m-1] and stop: the classic static game. *)
+
+val churn : Atp_util.Prng.t -> m:int -> steps:int -> fresh:bool -> op Seq.t
+(** Fill to [m] balls, then [steps] rounds of delete-one-insert-one.
+    With [fresh = true] every inserted ball has a brand-new id (the
+    hash sees a new key); with [fresh = false] deleted ids are recycled
+    (re-insertions, which the paper explicitly allows).  Deletions pick
+    a uniformly random live ball — uniform over ids, which the
+    adversary knows, not over bins, which it does not. *)
+
+val fifo_churn : m:int -> steps:int -> op Seq.t
+(** Fill to [m], then delete the oldest ball and insert a fresh one:
+    models a FIFO RAM-replacement policy driving the allocator. *)
+
+val sliding_window : m:int -> universe:int -> steps:int -> Atp_util.Prng.t -> op Seq.t
+(** Balls are drawn uniformly from a fixed universe; a ball already
+    present is deleted and re-inserted later by an LRU-like rule.
+    Approximates an LRU RAM-replacement policy: the live set is the
+    window of the [m] most recently requested pages. *)

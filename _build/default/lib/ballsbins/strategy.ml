@@ -1,0 +1,97 @@
+open Atp_util
+
+type placement = { bin : int; layer : int }
+
+type t = {
+  name : string;
+  k : int;
+  choose : Game.t -> int -> placement;
+}
+
+let front_yard = 0
+
+let back_yard = 1
+
+let one_choice rng ~bins =
+  let fam = Hashing.family rng ~k:1 ~range:bins in
+  {
+    name = "one-choice";
+    k = 1;
+    choose = (fun _game ball -> { bin = Hashing.apply fam 0 ball; layer = 0 });
+  }
+
+let greedy_pick game fam ~first ~count ~layer ball =
+  let best = ref (Hashing.apply fam first ball) in
+  let best_load = ref (Game.layer_load game ~layer !best) in
+  for i = first + 1 to first + count - 1 do
+    let candidate = Hashing.apply fam i ball in
+    let load = Game.layer_load game ~layer candidate in
+    if load < !best_load then begin
+      best := candidate;
+      best_load := load
+    end
+  done;
+  !best
+
+let greedy rng ~d ~bins =
+  if d < 1 then invalid_arg "Strategy.greedy: d must be at least 1";
+  let fam = Hashing.family rng ~k:d ~range:bins in
+  {
+    name = Printf.sprintf "greedy[%d]" d;
+    k = d;
+    choose =
+      (fun game ball ->
+        { bin = greedy_pick game fam ~first:0 ~count:d ~layer:0 ball; layer = 0 });
+  }
+
+let left_greedy rng ~d ~bins =
+  if d < 1 then invalid_arg "Strategy.left_greedy: d must be at least 1";
+  if bins mod d <> 0 then
+    invalid_arg "Strategy.left_greedy: bins must be divisible by d";
+  let group_size = bins / d in
+  let fam = Hashing.family rng ~k:d ~range:group_size in
+  {
+    name = Printf.sprintf "left-greedy[%d]" d;
+    k = d;
+    choose =
+      (fun game ball ->
+        (* Candidate i lives in group i; strict inequality keeps ties
+           in the leftmost group. *)
+        let best = ref (Hashing.apply fam 0 ball) in
+        let best_load = ref (Game.layer_load game ~layer:0 !best) in
+        for i = 1 to d - 1 do
+          let candidate = (i * group_size) + Hashing.apply fam i ball in
+          let load = Game.layer_load game ~layer:0 candidate in
+          if load < !best_load then begin
+            best := candidate;
+            best_load := load
+          end
+        done;
+        { bin = !best; layer = 0 });
+  }
+
+let iceberg rng ?(d = 2) ~tau ~bins () =
+  if d < 1 then invalid_arg "Strategy.iceberg: d must be at least 1";
+  if tau < 1 then invalid_arg "Strategy.iceberg: tau must be at least 1";
+  let fam = Hashing.family rng ~k:(d + 1) ~range:bins in
+  {
+    name = Printf.sprintf "iceberg[%d]" d;
+    k = d + 1;
+    choose =
+      (fun game ball ->
+        if Game.layers game < 2 then
+          invalid_arg "Strategy.iceberg: game needs 2 layers";
+        let front = Hashing.apply fam 0 ball in
+        if Game.layer_load game ~layer:front_yard front < tau then
+          { bin = front; layer = front_yard }
+        else
+          let bin =
+            greedy_pick game fam ~first:1 ~count:d ~layer:back_yard ball
+          in
+          { bin; layer = back_yard });
+  }
+
+let default_tau ~m ~bins =
+  if bins < 1 then invalid_arg "Strategy.default_tau: no bins";
+  let lambda = float_of_int m /. float_of_int bins in
+  max 1 (int_of_float (ceil (1.05 *. lambda)))

@@ -1,0 +1,1 @@
+lib/core/alloc.ml: Array Atp_util Bitvec Hashing Int_table Option Params Prng

@@ -1,0 +1,1 @@
+lib/core/decoupled.ml: Alloc Atp_util Encoding Hashtbl Int_table Option Params

@@ -1,0 +1,1 @@
+lib/core/decoupled.mli: Alloc Params

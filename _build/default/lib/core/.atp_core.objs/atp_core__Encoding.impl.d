@@ -1,0 +1,1 @@
+lib/core/encoding.ml: Alloc Atp_util Packed_array Params

@@ -1,0 +1,1 @@
+lib/core/hybrid.ml: Array Atp_paging Lru Params Policy Simulation

@@ -1,0 +1,1 @@
+lib/core/params.ml: Atp_util Float Format Printf

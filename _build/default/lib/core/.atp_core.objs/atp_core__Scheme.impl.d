@@ -1,0 +1,1 @@
+lib/core/scheme.ml: Array Atp_memsim Atp_paging Hybrid List Lru Machine Params Policy Printf Simulation Superpage Thp

@@ -1,0 +1,1 @@
+lib/core/simulation.ml: Alloc Array Atp_paging Atp_util Decoupled Format Params Policy Printf

@@ -1,0 +1,1 @@
+lib/core/simulation.mli: Atp_paging Decoupled Format Params

@@ -1,0 +1,1 @@
+lib/core/smp_decoupled.ml: Alloc Array Atp_paging Atp_util Decoupled Lru Option Params Policy

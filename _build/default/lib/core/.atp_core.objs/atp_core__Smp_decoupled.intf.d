@@ -1,0 +1,1 @@
+lib/core/smp_decoupled.mli: Atp_paging Params

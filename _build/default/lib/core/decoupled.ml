@@ -1,0 +1,102 @@
+open Atp_util
+
+type translation =
+  | Frame of int
+  | Decode_fault
+  | Not_covered
+
+(* [values] holds the live ψ array for every huge page that needs one:
+   those with at least one resident constituent, plus those currently
+   in the TLB.  The TLB and the shadow table share the same mutable
+   array, so a residency change updates a loaded TLB entry for free —
+   which is exactly the model's free ψ update. *)
+
+type t = {
+  params : Params.t;
+  alloc : Alloc.t;
+  enc : Encoding.t;
+  values : (int, Encoding.value) Hashtbl.t;
+  counts : Int_table.t;  (* huge page -> resident constituents *)
+  in_tlb : Int_table.t;  (* huge page -> 1 *)
+}
+
+let create ?seed params =
+  let alloc = Alloc.create ?seed params in
+  {
+    params;
+    alloc;
+    enc = Encoding.create alloc;
+    values = Hashtbl.create 4096;
+    counts = Int_table.create ();
+    in_tlb = Int_table.create ();
+  }
+
+let params t = t.params
+
+let alloc t = t.alloc
+
+let h_max t = Encoding.h_max t.enc
+
+let value_for t u =
+  match Hashtbl.find_opt t.values u with
+  | Some value -> value
+  | None ->
+    let value = Encoding.empty_value t.enc in
+    Hashtbl.replace t.values u value;
+    value
+
+let maybe_drop t u =
+  let count = Option.value (Int_table.find t.counts u) ~default:0 in
+  if count = 0 && not (Int_table.mem t.in_tlb u) then Hashtbl.remove t.values u
+
+let ram_insert t v =
+  let location = Alloc.insert t.alloc v in
+  let u = Encoding.huge_of t.enc v in
+  let count = Option.value (Int_table.find t.counts u) ~default:0 in
+  Int_table.set t.counts u (count + 1);
+  Encoding.refresh_page t.enc (value_for t u) v;
+  location
+
+let ram_evict t v =
+  Alloc.delete t.alloc v;
+  let u = Encoding.huge_of t.enc v in
+  let count = Int_table.find_exn t.counts u in
+  (match Hashtbl.find_opt t.values u with
+   | Some value -> Encoding.clear_page t.enc value v
+   | None -> assert false);
+  if count = 1 then begin
+    ignore (Int_table.remove t.counts u);
+    maybe_drop t u
+  end
+  else Int_table.set t.counts u (count - 1)
+
+let active t = Alloc.live t.alloc
+
+let tlb_add t u =
+  if Int_table.add_if_absent t.in_tlb u 1 then ignore (value_for t u)
+
+let tlb_remove t u =
+  if Int_table.remove t.in_tlb u then maybe_drop t u
+
+let tlb_mem t u = Int_table.mem t.in_tlb u
+
+let tlb_size t = Int_table.length t.in_tlb
+
+let translate t v =
+  let u = Encoding.huge_of t.enc v in
+  if not (Int_table.mem t.in_tlb u) then Not_covered
+  else begin
+    match Hashtbl.find_opt t.values u with
+    | None -> Decode_fault  (* covered but no constituent resident *)
+    | Some value ->
+      let frame = Encoding.decode t.enc v value in
+      if frame < 0 then Decode_fault else Frame frame
+  end
+
+let decoded_frame t v =
+  let u = Encoding.huge_of t.enc v in
+  match Hashtbl.find_opt t.values u with
+  | None -> None
+  | Some value ->
+    let frame = Encoding.decode t.enc v value in
+    if frame < 0 then None else Some frame

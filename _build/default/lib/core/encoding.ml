@@ -1,0 +1,64 @@
+open Atp_util
+
+type value = Packed_array.t
+
+type t = {
+  alloc : Alloc.t;
+  h_max : int;
+  bits_per_page : int;
+  bucket_size : int;
+  null : int;
+}
+
+let create alloc =
+  let params = Alloc.params alloc in
+  let { Params.h_max; bits_per_page; bucket_size; k; _ } = params in
+  {
+    alloc;
+    h_max;
+    bits_per_page;
+    bucket_size;
+    null = k * bucket_size;
+  }
+
+let h_max t = t.h_max
+
+let bits_used t = t.h_max * t.bits_per_page
+
+let null_code t = t.null
+
+let huge_of t v = v / t.h_max
+
+let index_of t v = v mod t.h_max
+
+let empty_value t =
+  let value = Packed_array.create ~width:t.bits_per_page ~length:t.h_max in
+  for i = 0 to t.h_max - 1 do
+    Packed_array.set value i t.null
+  done;
+  value
+
+let refresh_page t value v =
+  let code =
+    match Alloc.location_of t.alloc v with
+    | Some (Alloc.Placed { choice; slot; _ }) -> (choice * t.bucket_size) + slot
+    | Some (Alloc.Fallback _) | None -> t.null
+  in
+  Packed_array.set value (index_of t v) code
+
+let clear_page t value v = Packed_array.set value (index_of t v) t.null
+
+let is_empty t value =
+  let rec go i =
+    i >= t.h_max || (Packed_array.get value i = t.null && go (i + 1))
+  in
+  go 0
+
+let decode t v value =
+  let code = Packed_array.get value (index_of t v) in
+  if code = t.null then -1
+  else begin
+    let choice = code / t.bucket_size and slot = code mod t.bucket_size in
+    let bin = Alloc.bin_of_choice t.alloc ~page:v ~choice in
+    (bin * t.bucket_size) + slot
+  end

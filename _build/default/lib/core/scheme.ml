@@ -1,0 +1,105 @@
+open Atp_paging
+open Atp_memsim
+
+type t = {
+  name : string;
+  access : int -> unit;
+  ios : unit -> int;
+  tlb_events : unit -> int;
+  decode_misses : unit -> int;
+  reset : unit -> unit;
+}
+
+let cost ~epsilon t =
+  float_of_int (t.ios ())
+  +. (epsilon *. float_of_int (t.tlb_events () + t.decode_misses ()))
+
+let run ?warmup t trace =
+  (match warmup with
+   | Some w -> Array.iter t.access w
+   | None -> ());
+  t.reset ();
+  Array.iter t.access trace;
+  t
+
+let physical ?(tlb_entries = 1536) ?(seed = 42) ~ram_pages ~huge_size () =
+  let m =
+    Machine.create
+      { Machine.default_config with ram_pages; tlb_entries; huge_size; seed }
+  in
+  {
+    name = Printf.sprintf "physical-%d" huge_size;
+    access = Machine.access m;
+    ios = (fun () -> (Machine.counters m).Machine.ios);
+    tlb_events = (fun () -> (Machine.counters m).Machine.tlb_misses);
+    decode_misses = (fun () -> 0);
+    reset = (fun () -> Machine.reset_counters m);
+  }
+
+let thp ?(base_tlb_entries = 1536) ?(huge_tlb_entries = 16) ~ram_pages
+    ~huge_size () =
+  let m =
+    Thp.create
+      { Thp.default_config with
+        ram_pages; base_tlb_entries; huge_tlb_entries; huge_size }
+  in
+  {
+    name = Printf.sprintf "thp-%d" huge_size;
+    access = Thp.access m;
+    ios = (fun () -> (Thp.counters m).Thp.ios);
+    tlb_events = (fun () -> (Thp.counters m).Thp.tlb_misses);
+    decode_misses = (fun () -> 0);
+    reset = (fun () -> Thp.reset_counters m);
+  }
+
+let superpage ?(base_tlb_entries = 1536) ?(huge_tlb_entries = 16) ~ram_pages
+    ~huge_size () =
+  let m =
+    Superpage.create
+      { Superpage.default_config with
+        ram_pages; base_tlb_entries; huge_tlb_entries; huge_size }
+  in
+  {
+    name = Printf.sprintf "superpage-%d" huge_size;
+    access = Superpage.access m;
+    ios = (fun () -> (Superpage.counters m).Superpage.ios);
+    tlb_events = (fun () -> (Superpage.counters m).Superpage.tlb_misses);
+    decode_misses = (fun () -> 0);
+    reset = (fun () -> Superpage.reset_counters m);
+  }
+
+let decoupled ?(tlb_entries = 1536) ?seed ?(x_policy = (module Lru : Policy.S))
+    ?(y_policy = (module Lru : Policy.S)) ~ram_pages ~w () =
+  let params = Params.derive ~p:ram_pages ~w () in
+  let x = Policy.instantiate x_policy ~capacity:tlb_entries () in
+  let y =
+    Policy.instantiate y_policy ~capacity:(Params.usable_pages params) ()
+  in
+  let z = Simulation.create ?seed ~params ~x ~y () in
+  {
+    name = Printf.sprintf "decoupled-h%d" params.Params.h_max;
+    access = Simulation.access z;
+    ios = (fun () -> (Simulation.report z).Simulation.ios);
+    tlb_events = (fun () -> (Simulation.report z).Simulation.tlb_fills);
+    decode_misses =
+      (fun () -> (Simulation.report z).Simulation.decoding_misses);
+    reset = (fun () -> Simulation.reset_report z);
+  }
+
+let hybrid ?(tlb_entries = 1536) ~ram_pages ~chunk ~w () =
+  let h = Hybrid.create ~ram_pages ~chunk ~w ~tlb_entries () in
+  {
+    name = Printf.sprintf "hybrid-c%d" chunk;
+    access = Hybrid.access h;
+    ios = (fun () -> (Hybrid.report h).Hybrid.ios);
+    tlb_events = (fun () -> (Hybrid.report h).Hybrid.tlb_fills);
+    decode_misses = (fun () -> (Hybrid.report h).Hybrid.decoding_misses);
+    reset = (fun () -> Hybrid.reset_report h);
+  }
+
+let compare_all ?warmup ~epsilon schemes trace =
+  List.map
+    (fun scheme ->
+      let scheme = run ?warmup scheme trace in
+      (scheme.name, scheme.ios (), scheme.tlb_events (), cost ~epsilon scheme))
+    schemes

@@ -1,0 +1,64 @@
+(** A uniform face over every memory-management scheme in this
+    repository, for apples-to-apples comparison.
+
+    The paper's object of study is the {e memory-management
+    algorithm}: anything that services page requests while controlling
+    the TLB, the active set, and placement.  This module packages each
+    implementation — physical huge pages at a fixed size, THP,
+    reservation superpages, and the decoupled algorithm Z — behind one
+    record, so drivers and benches can sweep over all of them without
+    knowing their internals. *)
+
+type t = {
+  name : string;
+  access : int -> unit;
+  ios : unit -> int;  (** base-page IOs so far *)
+  tlb_events : unit -> int;  (** TLB misses/fills so far (ε-priced) *)
+  decode_misses : unit -> int;  (** ε-priced decoding misses (0 for
+                                    schemes without an encoder) *)
+  reset : unit -> unit;  (** zero the counters, keep the state *)
+}
+
+val cost : epsilon:float -> t -> float
+(** [ios + ε·(tlb_events + decode_misses)], read from the counters. *)
+
+val run : ?warmup:int array -> t -> int array -> t
+(** Play warmup, reset counters, play the trace; returns the scheme
+    for chaining. *)
+
+val physical :
+  ?tlb_entries:int -> ?seed:int -> ram_pages:int -> huge_size:int -> unit -> t
+(** The Section 6 machine at a fixed huge-page size. *)
+
+val thp :
+  ?base_tlb_entries:int -> ?huge_tlb_entries:int -> ram_pages:int ->
+  huge_size:int -> unit -> t
+
+val superpage :
+  ?base_tlb_entries:int -> ?huge_tlb_entries:int -> ram_pages:int ->
+  huge_size:int -> unit -> t
+
+val decoupled :
+  ?tlb_entries:int ->
+  ?seed:int ->
+  ?x_policy:(module Atp_paging.Policy.S) ->
+  ?y_policy:(module Atp_paging.Policy.S) ->
+  ram_pages:int ->
+  w:int ->
+  unit ->
+  t
+(** The Theorem 4 algorithm Z with the given policies (LRU/LRU by
+    default). *)
+
+val hybrid :
+  ?tlb_entries:int -> ram_pages:int -> chunk:int -> w:int -> unit -> t
+(** The Section 8 hybrid scheme. *)
+
+val compare_all :
+  ?warmup:int array ->
+  epsilon:float ->
+  t list ->
+  int array ->
+  (string * int * int * float) list
+(** Run every scheme on the same trace; returns
+    [(name, ios, tlb_events, cost)] rows. *)

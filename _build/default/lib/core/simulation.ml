@@ -1,0 +1,120 @@
+open Atp_paging
+
+type report = {
+  accesses : int;
+  ios : int;
+  tlb_fills : int;
+  decoding_misses : int;
+  failures_total : int;
+  max_bucket_load : int;
+}
+
+let cost ~epsilon (r : report) =
+  float_of_int r.ios
+  +. (epsilon *. float_of_int (r.tlb_fills + r.decoding_misses))
+
+let c_tlb ~epsilon (r : report) = epsilon *. float_of_int r.tlb_fills
+
+let c_io (r : report) = float_of_int r.ios
+
+type t = {
+  d : Decoupled.t;
+  x : Policy.instance;
+  y : Policy.instance;
+  h_max : int;
+  mutable accesses : int;
+  mutable ios : int;
+  mutable tlb_fills : int;
+  mutable decoding_misses : int;
+  failures_at_reset : int ref;
+}
+
+let create ?seed ~params ~x ~y () =
+  let budget = Params.usable_pages params in
+  if y.Policy.capacity > budget then
+    invalid_arg
+      (Printf.sprintf
+         "Simulation.create: Y capacity %d exceeds the (1-delta)P budget %d"
+         y.Policy.capacity budget);
+  let d = Decoupled.create ?seed params in
+  {
+    d;
+    x;
+    y;
+    h_max = Decoupled.h_max d;
+    accesses = 0;
+    ios = 0;
+    tlb_fills = 0;
+    decoding_misses = 0;
+    failures_at_reset = ref 0;
+  }
+
+let decoupled t = t.d
+
+let access t page =
+  t.accesses <- t.accesses + 1;
+  let u = page / t.h_max in
+  (* TLB side: Z's TLB mirrors X's content on the stream r(σ). *)
+  (match t.x.Policy.access u with
+   | Policy.Hit -> ()
+   | Policy.Miss { evicted } ->
+     t.tlb_fills <- t.tlb_fills + 1;
+     (match evicted with
+      | Some victim -> Decoupled.tlb_remove t.d victim
+      | None -> ());
+     Decoupled.tlb_add t.d u);
+  (* RAM side: Z's active set mirrors Y's. *)
+  (match t.y.Policy.access page with
+   | Policy.Hit -> ()
+   | Policy.Miss { evicted } ->
+     t.ios <- t.ios + 1;
+     (match evicted with
+      | Some victim -> Decoupled.ram_evict t.d victim
+      | None -> ());
+     ignore (Decoupled.ram_insert t.d page : Alloc.location));
+  (* Translate. The huge page is covered and the page is active, so
+     the only non-frame answer is a decoding miss from a paging
+     failure. *)
+  match Decoupled.translate t.d page with
+  | Decoupled.Frame _ -> ()
+  | Decoupled.Decode_fault -> t.decoding_misses <- t.decoding_misses + 1
+  | Decoupled.Not_covered ->
+    (* We just added u on an X miss, and X holds u on a hit. *)
+    assert false
+
+let report t =
+  {
+    accesses = t.accesses;
+    ios = t.ios;
+    tlb_fills = t.tlb_fills;
+    decoding_misses = t.decoding_misses;
+    failures_total =
+      Alloc.failures_total (Decoupled.alloc t.d) - !(t.failures_at_reset);
+    max_bucket_load = Alloc.max_bucket_load (Decoupled.alloc t.d);
+  }
+
+let reset_report t =
+  t.accesses <- 0;
+  t.ios <- 0;
+  t.tlb_fills <- 0;
+  t.decoding_misses <- 0;
+  t.failures_at_reset := Alloc.failures_total (Decoupled.alloc t.d)
+
+let run ?warmup t trace =
+  (match warmup with
+   | Some w -> Array.iter (access t) w
+   | None -> ());
+  reset_report t;
+  Array.iter (access t) trace;
+  report t
+
+let huge_trace ~h_max trace = Array.map (fun p -> p / h_max) trace
+
+let pp_report ppf (r : report) =
+  Format.fprintf ppf
+    "accesses=%a ios=%a tlb-fills=%a decoding-misses=%a failures=%a \
+     max-bucket-load=%d"
+    Atp_util.Stats.pp_count r.accesses Atp_util.Stats.pp_count r.ios
+    Atp_util.Stats.pp_count r.tlb_fills Atp_util.Stats.pp_count
+    r.decoding_misses Atp_util.Stats.pp_count r.failures_total
+    r.max_bucket_load

@@ -1,0 +1,65 @@
+(** The Simulation Theorem (Theorem 4) made executable.
+
+    Given a TLB-optimising algorithm X (any {!Atp_paging.Policy}
+    instance run on the huge-page request stream [r(p_i)] with ℓ
+    entries — Lemma 1's reduction) and an IO-optimising algorithm Y
+    (any policy instance on the page stream with capacity at most
+    [(1-δ)·P]), this module builds the combined memory-management
+    algorithm Z over a decoupling scheme D and accounts its cost in
+    the address-translation cost model.
+
+    Invariants maintained (and checked in tests):
+    - Z adds a TLB entry exactly when X misses, so
+      [tlb_fills = misses(X, r(σ))];
+    - Z performs an IO exactly when Y misses, so
+      [ios = misses(Y, σ)];
+    - decoding misses happen only for pages parked by a paging
+      failure, the [n/poly(P)] term of Eq. (3). *)
+
+type report = {
+  accesses : int;
+  ios : int;  (** = Y's misses *)
+  tlb_fills : int;  (** = X's misses *)
+  decoding_misses : int;  (** accesses that decoded to ⊥ (failures) *)
+  failures_total : int;  (** paging failures since creation *)
+  max_bucket_load : int;
+}
+
+val cost : epsilon:float -> report -> float
+(** [ios + ε·(tlb_fills + decoding_misses)]: C(Z, σ). *)
+
+val c_tlb : epsilon:float -> report -> float
+(** [ε·tlb_fills]: C_TLB(X, σ). *)
+
+val c_io : report -> float
+(** [ios]: C_IO(Y, σ). *)
+
+type t
+
+val create :
+  ?seed:int ->
+  params:Params.t ->
+  x:Atp_paging.Policy.instance ->
+  y:Atp_paging.Policy.instance ->
+  unit ->
+  t
+(** [x]'s capacity is the TLB entry count ℓ; [y]'s capacity must not
+    exceed [Params.usable_pages params] (raises [Invalid_argument]
+    otherwise — that is the resource-augmentation contract). *)
+
+val decoupled : t -> Decoupled.t
+
+val access : t -> int -> unit
+(** Service one virtual page request through Z. *)
+
+val report : t -> report
+
+val reset_report : t -> unit
+
+val run : ?warmup:int array -> t -> int array -> report
+
+val huge_trace : h_max:int -> int array -> int array
+(** [r(p_1), r(p_2), …]: the huge-page request stream Lemma 1 feeds to
+    X — also what callers need to build an OPT instance for X. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,1 @@
+lib/memsim/buddy.ml: Array Atp_util Bitvec Int_table List Page_list

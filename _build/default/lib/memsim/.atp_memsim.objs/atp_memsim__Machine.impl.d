@@ -1,0 +1,1 @@
+lib/memsim/machine.ml: Array Atp_paging Atp_tlb Atp_util Buddy Format Int_table Lru Policy Prng Stats

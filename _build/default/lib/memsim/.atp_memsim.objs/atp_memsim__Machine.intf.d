@@ -1,0 +1,1 @@
+lib/memsim/machine.mli: Atp_paging Format

@@ -1,0 +1,1 @@
+lib/memsim/nested.ml: Atp_tlb Page_table Walker

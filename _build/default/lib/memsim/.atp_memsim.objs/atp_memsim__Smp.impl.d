@@ -1,0 +1,1 @@
+lib/memsim/smp.ml: Array Atp_paging Atp_tlb Atp_util Buddy Format Hashing Int_table Lru Policy Stats

@@ -1,0 +1,1 @@
+lib/memsim/superpage.ml: Array Atp_tlb Atp_util Bitvec Buddy Format Hashtbl Int_table Page_list Stats

@@ -1,0 +1,1 @@
+lib/memsim/superpage.mli: Format

@@ -1,0 +1,1 @@
+lib/memsim/thp.ml: Array Atp_tlb Atp_util Buddy Format Int_table Option Page_list Stats

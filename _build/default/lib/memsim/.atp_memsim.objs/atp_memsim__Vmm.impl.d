@@ -1,0 +1,1 @@
+lib/memsim/vmm.ml: Atp_tlb Atp_util Buddy Format Int_table Option Page_list Page_table Stats Walker

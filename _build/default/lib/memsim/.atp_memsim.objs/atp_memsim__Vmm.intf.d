@@ -1,0 +1,1 @@
+lib/memsim/vmm.mli: Format Walker

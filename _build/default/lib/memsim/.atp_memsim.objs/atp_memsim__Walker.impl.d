@@ -1,0 +1,1 @@
+lib/memsim/walker.ml: Atp_tlb Page_table

@@ -1,0 +1,1 @@
+lib/memsim/walker.mli: Page_table

@@ -1,0 +1,149 @@
+open Atp_util
+open Atp_paging
+
+type config = {
+  ram_pages : int;
+  tlb_entries : int;
+  huge_size : int;
+  epsilon : float;
+  ram_policy : (module Policy.S);
+  tlb_policy : (module Policy.S);
+  seed : int;
+}
+
+let default_config =
+  {
+    ram_pages = 1 lsl 18;
+    tlb_entries = 1536;
+    huge_size = 1;
+    epsilon = 0.01;
+    ram_policy = (module Lru : Policy.S);
+    tlb_policy = (module Lru : Policy.S);
+    seed = 42;
+  }
+
+type counters = {
+  accesses : int;
+  tlb_hits : int;
+  tlb_misses : int;
+  page_faults : int;
+  ios : int;
+}
+
+let zero_counters =
+  { accesses = 0; tlb_hits = 0; tlb_misses = 0; page_faults = 0; ios = 0 }
+
+let cost ~epsilon c = float_of_int c.ios +. (epsilon *. float_of_int c.tlb_misses)
+
+type t = {
+  cfg : config;
+  huge_shift : int;
+  tlb : int Atp_tlb.Tlb.t;          (* huge page -> base frame *)
+  ram : Policy.instance;            (* residency of huge pages *)
+  frame_of : Int_table.t;           (* huge page -> base frame *)
+  buddy : Buddy.t;
+  mutable counters : counters;
+}
+
+let log2_exact n =
+  if n < 1 || n land (n - 1) <> 0 then None
+  else begin
+    let rec go acc v = if v = 1 then acc else go (acc + 1) (v lsr 1) in
+    Some (go 0 n)
+  end
+
+let create cfg =
+  let huge_shift =
+    match log2_exact cfg.huge_size with
+    | Some s -> s
+    | None -> invalid_arg "Machine.create: huge_size must be a power of two"
+  in
+  let huge_frames = cfg.ram_pages / cfg.huge_size in
+  if huge_frames < 1 then
+    invalid_arg "Machine.create: RAM smaller than one huge page";
+  let rng = Prng.create ~seed:cfg.seed () in
+  {
+    cfg;
+    huge_shift;
+    tlb =
+      Atp_tlb.Tlb.create ~policy:cfg.tlb_policy ~rng:(Prng.split rng)
+        ~entries:cfg.tlb_entries ();
+    ram = Policy.instantiate cfg.ram_policy ~rng:(Prng.split rng)
+            ~capacity:huge_frames ();
+    frame_of = Int_table.create ();
+    buddy = Buddy.create ~frames:cfg.ram_pages;
+    counters = zero_counters;
+  }
+
+let config t = t.cfg
+
+let counters t = t.counters
+
+let reset_counters t = t.counters <- zero_counters
+
+let resident_pages t = t.ram.Policy.size () * t.cfg.huge_size
+
+(* Bring the huge page containing [hu] into RAM if absent, paying h
+   IOs on a fault; returns its base frame. *)
+let ensure_resident t hu =
+  match t.ram.Policy.access hu with
+  | Policy.Hit -> Int_table.find_exn t.frame_of hu
+  | Policy.Miss { evicted } ->
+    (match evicted with
+     | None -> ()
+     | Some victim ->
+       let base = Int_table.find_exn t.frame_of victim in
+       ignore (Int_table.remove t.frame_of victim);
+       Buddy.free t.buddy ~base ~order:t.huge_shift;
+       (* The victim's translation is stale: shoot it down (free). *)
+       ignore (Atp_tlb.Tlb.invalidate t.tlb victim));
+    let base =
+      match Buddy.alloc t.buddy ~order:t.huge_shift with
+      | Some base -> base
+      | None ->
+        (* With uniform huge pages the buddy cannot fragment; running
+           out means the policy overcommitted, which is a bug. *)
+        assert false
+    in
+    Int_table.set t.frame_of hu base;
+    let c = t.counters in
+    t.counters <-
+      { c with
+        page_faults = c.page_faults + 1;
+        ios = c.ios + t.cfg.huge_size };
+    base
+
+let access t vpage =
+  if vpage < 0 then invalid_arg "Machine.access: negative page";
+  let hu = vpage lsr t.huge_shift in
+  let c = t.counters in
+  match Atp_tlb.Tlb.lookup t.tlb hu with
+  | Some _base ->
+    (* TLB hit implies residency (entries are shot down on eviction),
+       but RAM recency must still see the access, as the paper's
+       simulator does — otherwise the RAM LRU order would be driven
+       only by TLB misses. *)
+    (match t.ram.Policy.access hu with
+     | Policy.Hit -> ()
+     | Policy.Miss _ -> assert false);
+    t.counters <- { c with accesses = c.accesses + 1; tlb_hits = c.tlb_hits + 1 }
+  | None ->
+    t.counters <-
+      { c with accesses = c.accesses + 1; tlb_misses = c.tlb_misses + 1 };
+    let base = ensure_resident t hu in
+    ignore (Atp_tlb.Tlb.insert t.tlb hu base)
+
+let run ?warmup t trace =
+  (match warmup with
+   | Some w -> Array.iter (access t) w
+   | None -> ());
+  reset_counters t;
+  Atp_tlb.Tlb.reset_stats t.tlb;
+  Array.iter (access t) trace;
+  counters t
+
+let pp_counters ppf c =
+  Format.fprintf ppf
+    "accesses=%a tlb-hits=%a tlb-misses=%a faults=%a ios=%a"
+    Stats.pp_count c.accesses Stats.pp_count c.tlb_hits Stats.pp_count
+    c.tlb_misses Stats.pp_count c.page_faults Stats.pp_count c.ios

@@ -1,0 +1,64 @@
+(** The trace-driven TLB+RAM simulator of Section 6.
+
+    Configuration matches the paper's experiments: a fully associative
+    TLB with ℓ entries managed by LRU, RAM managed by LRU, a base page
+    of 4 KiB, and a huge-page size [h ∈ {1, 2, 4, …}] in base pages.
+    Each TLB entry covers [h] virtually contiguous pages that map to
+    [h] physically contiguous, aligned frames; consequently each page
+    fault moves [h] pages at a cost of [h] IOs (page-fault
+    amplification), and RAM is allocated in aligned order-[log2 h]
+    blocks from a buddy allocator.
+
+    Costs follow the address-translation cost model: an IO costs 1, a
+    TLB miss costs ε, a TLB hit costs 0, and evictions are free. *)
+
+type config = {
+  ram_pages : int;  (** P, in base pages *)
+  tlb_entries : int;  (** ℓ *)
+  huge_size : int;  (** h, a power of two, in base pages *)
+  epsilon : float;  (** ε, the TLB-miss cost *)
+  ram_policy : (module Atp_paging.Policy.S);
+  tlb_policy : (module Atp_paging.Policy.S);
+  seed : int;
+}
+
+val default_config : config
+(** 1536 TLB entries, LRU everywhere, ε = 0.01, h = 1; RAM size must
+    be set per experiment. *)
+
+type counters = {
+  accesses : int;
+  tlb_hits : int;
+  tlb_misses : int;
+  page_faults : int;  (** huge-unit faults *)
+  ios : int;  (** base-page IOs: [huge_size] per fault *)
+}
+
+val cost : epsilon:float -> counters -> float
+(** [ios + ε * tlb_misses]. *)
+
+type t
+
+val create : config -> t
+(** Raises [Invalid_argument] if [huge_size] is not a power of two, or
+    if fewer than one huge page fits in RAM. *)
+
+val config : t -> config
+
+val access : t -> int -> unit
+(** Service one virtual base-page reference. *)
+
+val counters : t -> counters
+
+val reset_counters : t -> unit
+(** Zero the counters but keep TLB/RAM state: used to separate warmup
+    from measurement, as the paper's experiments do. *)
+
+val resident_pages : t -> int
+(** Base pages currently in RAM ([h] times the resident huge units). *)
+
+val run : ?warmup:int array -> t -> int array -> counters
+(** [run ~warmup t trace] plays the warmup (counters discarded), then
+    the trace, returning the measured counters. *)
+
+val pp_counters : Format.formatter -> counters -> unit

@@ -1,0 +1,182 @@
+type flags = {
+  writable : bool;
+  accessed : bool;
+  dirty : bool;
+}
+
+type mapping = {
+  frame : int;
+  level : int;
+  flags : flags;
+}
+
+let levels = 4
+
+let fanout_bits = 9
+
+let fanout = 1 lsl fanout_bits
+
+type leaf = {
+  frame : int;
+  level : int;
+  writable : bool;
+  mutable accessed : bool;
+  mutable dirty : bool;
+}
+
+type entry =
+  | Empty
+  | Node of node
+  | Leaf of leaf
+
+and node = {
+  entries : entry array;
+  mutable occupied : int;
+}
+
+type t = {
+  root : node;
+  mutable leaves : int;
+  mutable nodes : int;
+}
+
+let fresh_node () = { entries = Array.make fanout Empty; occupied = 0 }
+
+let create () = { root = fresh_node (); leaves = 0; nodes = 1 }
+
+let max_vpage _ = (1 lsl (levels * fanout_bits)) - 1
+
+let index vpage depth = (vpage lsr (depth * fanout_bits)) land (fanout - 1)
+
+let pages_of_level level = 1 lsl (level * fanout_bits)
+
+let check_vpage t vpage =
+  if vpage < 0 || vpage > max_vpage t then
+    invalid_arg "Page_table: virtual page out of range"
+
+let mapping_of_leaf leaf =
+  {
+    frame = leaf.frame;
+    level = leaf.level;
+    flags =
+      { writable = leaf.writable; accessed = leaf.accessed; dirty = leaf.dirty };
+  }
+
+let map t ~vpage ~frame ?(level = 0) ?(writable = true) () =
+  check_vpage t vpage;
+  if level < 0 || level > levels - 2 then
+    invalid_arg "Page_table.map: bad leaf level";
+  let span = pages_of_level level in
+  if vpage land (span - 1) <> 0 then
+    invalid_arg "Page_table.map: virtual page not aligned to its level";
+  if frame land (span - 1) <> 0 then
+    invalid_arg "Page_table.map: frame not aligned to its level";
+  (* Descend to the node at depth [level], creating interior nodes. *)
+  let rec descend node depth =
+    let i = index vpage depth in
+    if depth = level then begin
+      match node.entries.(i) with
+      | Empty ->
+        node.entries.(i) <-
+          Leaf { frame; level; writable; accessed = false; dirty = false };
+        node.occupied <- node.occupied + 1;
+        t.leaves <- t.leaves + 1
+      | Leaf _ -> invalid_arg "Page_table.map: range already mapped"
+      | Node _ ->
+        invalid_arg "Page_table.map: range contains finer-grained mappings"
+    end
+    else begin
+      match node.entries.(i) with
+      | Leaf _ ->
+        invalid_arg "Page_table.map: range covered by a larger mapping"
+      | Node child -> descend child (depth - 1)
+      | Empty ->
+        let child = fresh_node () in
+        node.entries.(i) <- Node child;
+        node.occupied <- node.occupied + 1;
+        t.nodes <- t.nodes + 1;
+        descend child (depth - 1)
+    end
+  in
+  descend t.root (levels - 1)
+
+let unmap t ~vpage =
+  check_vpage t vpage;
+  (* Returns (removed, child_now_empty). *)
+  let rec descend node depth =
+    let i = index vpage depth in
+    match node.entries.(i) with
+    | Empty -> false
+    | Leaf _ ->
+      node.entries.(i) <- Empty;
+      node.occupied <- node.occupied - 1;
+      t.leaves <- t.leaves - 1;
+      true
+    | Node child ->
+      let removed = descend child (depth - 1) in
+      if removed && child.occupied = 0 then begin
+        node.entries.(i) <- Empty;
+        node.occupied <- node.occupied - 1;
+        t.nodes <- t.nodes - 1
+      end;
+      removed
+  in
+  descend t.root (levels - 1)
+
+let find_leaf t vpage =
+  let rec descend node depth =
+    match node.entries.(index vpage depth) with
+    | Empty -> None
+    | Leaf leaf -> Some leaf
+    | Node child -> descend child (depth - 1)
+  in
+  descend t.root (levels - 1)
+
+let lookup t vpage =
+  check_vpage t vpage;
+  Option.map mapping_of_leaf (find_leaf t vpage)
+
+let walk t vpage =
+  check_vpage t vpage;
+  let rec descend node depth visits =
+    match node.entries.(index vpage depth) with
+    | Empty -> (None, visits)
+    | Leaf leaf ->
+      leaf.accessed <- true;
+      (Some (mapping_of_leaf leaf), visits)
+    | Node child -> descend child (depth - 1) (visits + 1)
+  in
+  descend t.root (levels - 1) 1
+
+let set_dirty t vpage =
+  check_vpage t vpage;
+  match find_leaf t vpage with
+  | None -> false
+  | Some leaf ->
+    leaf.dirty <- true;
+    leaf.accessed <- true;
+    true
+
+let clear_accessed t vpage =
+  check_vpage t vpage;
+  match find_leaf t vpage with
+  | None -> false
+  | Some leaf ->
+    leaf.accessed <- false;
+    true
+
+let mapped_count t = t.leaves
+
+let node_count t = t.nodes
+
+let iter f t =
+  let rec visit node depth base =
+    for i = 0 to fanout - 1 do
+      let vpage = base lor (i lsl (depth * fanout_bits)) in
+      match node.entries.(i) with
+      | Empty -> ()
+      | Leaf leaf -> f ~vpage (mapping_of_leaf leaf)
+      | Node child -> visit child (depth - 1) vpage
+    done
+  in
+  visit t.root (levels - 1) 0

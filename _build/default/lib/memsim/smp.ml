@@ -1,0 +1,157 @@
+open Atp_util
+open Atp_paging
+
+type config = {
+  cores : int;
+  ram_pages : int;
+  tlb_entries_per_core : int;
+  huge_size : int;
+  epsilon : float;
+  ipi_epsilon : float;
+}
+
+let default_config =
+  {
+    cores = 4;
+    ram_pages = 1 lsl 18;
+    tlb_entries_per_core = 384;
+    huge_size = 1;
+    epsilon = 0.01;
+    ipi_epsilon = 0.01;
+  }
+
+type counters = {
+  accesses : int;
+  tlb_misses : int;
+  ios : int;
+  shootdown_events : int;
+  ipis : int;
+}
+
+let zero =
+  { accesses = 0; tlb_misses = 0; ios = 0; shootdown_events = 0; ipis = 0 }
+
+type t = {
+  cfg : config;
+  huge_shift : int;
+  tlbs : int Atp_tlb.Tlb.t array;  (* per core: huge page -> base frame *)
+  ram : Policy.instance;  (* shared residency of huge units *)
+  frame_of : Int_table.t;
+  buddy : Buddy.t;
+  mutable counters : counters;
+}
+
+let log2_exact n =
+  if n < 1 || n land (n - 1) <> 0 then None
+  else begin
+    let rec go acc v = if v = 1 then acc else go (acc + 1) (v lsr 1) in
+    Some (go 0 n)
+  end
+
+let create cfg =
+  let huge_shift =
+    match log2_exact cfg.huge_size with
+    | Some s -> s
+    | None -> invalid_arg "Smp.create: huge_size must be a power of two"
+  in
+  if cfg.cores < 1 then invalid_arg "Smp.create: need at least one core";
+  let huge_frames = cfg.ram_pages / cfg.huge_size in
+  if huge_frames < 1 then invalid_arg "Smp.create: RAM too small";
+  {
+    cfg;
+    huge_shift;
+    tlbs =
+      Array.init cfg.cores (fun _ ->
+          Atp_tlb.Tlb.create ~entries:cfg.tlb_entries_per_core ());
+    ram = Policy.instantiate (module Lru) ~capacity:huge_frames ();
+    frame_of = Int_table.create ();
+    buddy = Buddy.create ~frames:cfg.ram_pages;
+    counters = zero;
+  }
+
+let counters t = t.counters
+
+let reset_counters t = t.counters <- zero
+
+(* Invalidate a victim's translation on every core; remote cores that
+   held it receive an IPI (the initiator flushes locally for free). *)
+let shootdown t ~initiator hu =
+  let remote = ref 0 in
+  let local = ref false in
+  Array.iteri
+    (fun core tlb ->
+      if Atp_tlb.Tlb.invalidate tlb hu then
+        if core = initiator then local := true else incr remote)
+    t.tlbs;
+  if !remote > 0 || !local then
+    t.counters <-
+      {
+        t.counters with
+        shootdown_events = t.counters.shootdown_events + 1;
+        ipis = t.counters.ipis + !remote;
+      }
+
+let ensure_resident t ~initiator hu =
+  match t.ram.Policy.access hu with
+  | Policy.Hit -> Int_table.find_exn t.frame_of hu
+  | Policy.Miss { evicted } ->
+    (match evicted with
+     | None -> ()
+     | Some victim ->
+       let base = Int_table.find_exn t.frame_of victim in
+       ignore (Int_table.remove t.frame_of victim);
+       Buddy.free t.buddy ~base ~order:t.huge_shift;
+       shootdown t ~initiator victim);
+    let base =
+      match Buddy.alloc t.buddy ~order:t.huge_shift with
+      | Some base -> base
+      | None -> assert false
+    in
+    Int_table.set t.frame_of hu base;
+    t.counters <- { t.counters with ios = t.counters.ios + t.cfg.huge_size };
+    base
+
+let access t ~core vpage =
+  if core < 0 || core >= t.cfg.cores then invalid_arg "Smp.access: bad core";
+  if vpage < 0 then invalid_arg "Smp.access: negative page";
+  let hu = vpage lsr t.huge_shift in
+  let tlb = t.tlbs.(core) in
+  t.counters <- { t.counters with accesses = t.counters.accesses + 1 };
+  match Atp_tlb.Tlb.lookup tlb hu with
+  | Some _ ->
+    (* Keep shared-RAM recency in step with every access (a TLB hit on
+       any core still touches the page). *)
+    (match t.ram.Policy.access hu with
+     | Policy.Hit -> ()
+     | Policy.Miss _ -> assert false)
+  | None ->
+    t.counters <- { t.counters with tlb_misses = t.counters.tlb_misses + 1 };
+    let base = ensure_resident t ~initiator:core hu in
+    ignore (Atp_tlb.Tlb.insert tlb hu base)
+
+let cost cfg c =
+  float_of_int c.ios
+  +. (cfg.epsilon *. float_of_int c.tlb_misses)
+  +. (cfg.ipi_epsilon *. float_of_int c.ipis)
+
+let run_with assign ?warmup t trace =
+  (match warmup with
+   | Some w -> Array.iteri (fun i page -> access t ~core:(assign t i page) page) w
+   | None -> ());
+  reset_counters t;
+  Array.iteri (fun i page -> access t ~core:(assign t i page) page) trace;
+  counters t
+
+let run_shared ?warmup t trace =
+  run_with (fun t i _page -> i mod t.cfg.cores) ?warmup t trace
+
+let run_partitioned ?warmup t trace =
+  run_with
+    (fun t _i page -> Hashing.hash_in ~seed:0x5135 t.cfg.cores (page lsr t.huge_shift))
+    ?warmup t trace
+
+let pp_counters ppf c =
+  Format.fprintf ppf
+    "accesses=%a tlb-misses=%a ios=%a shootdowns=%a ipis=%a"
+    Stats.pp_count c.accesses Stats.pp_count c.tlb_misses Stats.pp_count c.ios
+    Stats.pp_count c.shootdown_events Stats.pp_count c.ipis

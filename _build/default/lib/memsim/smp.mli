@@ -1,0 +1,60 @@
+(** A multi-core memory system with per-core TLBs and shootdowns.
+
+    The paper notes that multi-core machines have per-core TLBs and
+    that parallelism shrinks each thread's effective TLB share.  This
+    model makes both effects measurable: every core owns a private
+    TLB; RAM (and its replacement policy) is shared; and unmapping a
+    page — eviction from RAM — broadcasts a TLB shootdown, costing one
+    inter-processor invalidation per remote core that held the
+    translation (the initiator flushes its own TLB for free).
+
+    Costs are reported in the address-translation cost model extended
+    with a per-IPI cost (shootdowns are the part of translation
+    maintenance the single-core model hides). *)
+
+type config = {
+  cores : int;
+  ram_pages : int;
+  tlb_entries_per_core : int;
+  huge_size : int;  (** power of two; 1 = no huge pages *)
+  epsilon : float;
+  ipi_epsilon : float;  (** cost of one remote TLB invalidation *)
+}
+
+val default_config : config
+(** 4 cores, 384 entries each (1536 split 4 ways), h = 1, ε = 0.01,
+    IPI cost = ε. *)
+
+type counters = {
+  accesses : int;
+  tlb_misses : int;  (** summed over cores *)
+  ios : int;
+  shootdown_events : int;  (** unmaps that required any invalidation *)
+  ipis : int;  (** remote invalidations delivered (initiator excluded) *)
+}
+
+type t
+
+val create : config -> t
+
+val access : t -> core:int -> int -> unit
+(** Raises [Invalid_argument] for an out-of-range core. *)
+
+val counters : t -> counters
+
+val reset_counters : t -> unit
+
+val cost : config -> counters -> float
+(** [ios + ε·tlb_misses + ipi_ε·ipis]. *)
+
+val run_shared : ?warmup:int array -> t -> int array -> counters
+(** Replay a single page trace round-robin across the cores: a shared
+    address space touched by all threads (maximal shootdown
+    traffic). *)
+
+val run_partitioned : ?warmup:int array -> t -> int array -> counters
+(** Shard pages across cores by hash: thread-private working sets
+    (minimal shootdown traffic).  Each access goes to the core that
+    owns its page. *)
+
+val pp_counters : Format.formatter -> counters -> unit

@@ -1,0 +1,233 @@
+open Atp_util
+
+exception Segfault of int
+
+type config = {
+  ram_pages : int;
+  tlb_entries : int;
+  walker : Walker.config;
+  tlb_hit_cycles : int;
+  io_cycles : int;
+}
+
+let default_config =
+  {
+    ram_pages = 1 lsl 16;
+    tlb_entries = 1536;
+    walker = Walker.default_config;
+    tlb_hit_cycles = 1;
+    io_cycles = 40_000;
+  }
+
+type counters = {
+  accesses : int;
+  tlb_hits : int;
+  tlb_misses : int;
+  minor_faults : int;
+  major_faults : int;
+  writebacks : int;
+  evictions : int;
+  walk_cycles : int;
+  total_cycles : int;
+}
+
+let zero =
+  {
+    accesses = 0;
+    tlb_hits = 0;
+    tlb_misses = 0;
+    minor_faults = 0;
+    major_faults = 0;
+    writebacks = 0;
+    evictions = 0;
+    walk_cycles = 0;
+    total_cycles = 0;
+  }
+
+type t = {
+  cfg : config;
+  table : Page_table.t;
+  walker : Walker.t;
+  tlb : int Atp_tlb.Tlb.t;
+  buddy : Buddy.t;
+  regions : Page_list.t;  (* region start pages, for munmap bookkeeping *)
+  region_len : Int_table.t;  (* start -> length *)
+  resident : Page_list.t;  (* CLOCK order over resident vpages *)
+  swapped : Int_table.t;  (* vpage -> 1 if a swap copy exists *)
+  mutable counters : counters;
+}
+
+let create cfg =
+  if cfg.ram_pages < 1 then invalid_arg "Vmm.create: no RAM";
+  let table = Page_table.create () in
+  {
+    cfg;
+    table;
+    walker = Walker.create ~config:cfg.walker table;
+    tlb = Atp_tlb.Tlb.create ~entries:cfg.tlb_entries ();
+    buddy = Buddy.create ~frames:cfg.ram_pages;
+    regions = Page_list.create ();
+    region_len = Int_table.create ();
+    resident = Page_list.create ();
+    swapped = Int_table.create ();
+    counters = zero;
+  }
+
+let counters t = t.counters
+
+let reset_counters t = t.counters <- zero
+
+let resident_pages t = Page_list.length t.resident
+
+let overlaps t ~start ~pages =
+  Int_table.fold
+    (fun s len acc -> acc || (start < s + len && s < start + pages))
+    t.region_len false
+
+let mmap t ~start ~pages =
+  if start < 0 || pages < 1 then invalid_arg "Vmm.mmap: bad region";
+  if overlaps t ~start ~pages then invalid_arg "Vmm.mmap: region overlap";
+  Page_list.push_front t.regions start;
+  Int_table.set t.region_len start pages
+
+let is_mapped t vpage =
+  Int_table.fold
+    (fun s len acc -> acc || (vpage >= s && vpage < s + len))
+    t.region_len false
+
+let release_page t vpage =
+  (match Page_table.lookup t.table vpage with
+   | Some m ->
+     Buddy.free t.buddy ~base:m.Page_table.frame ~order:0;
+     ignore (Page_table.unmap t.table ~vpage)
+   | None -> ());
+  ignore (Page_list.remove t.resident vpage);
+  ignore (Int_table.remove t.swapped vpage);
+  ignore (Atp_tlb.Tlb.invalidate t.tlb vpage)
+
+let munmap t ~start ~pages =
+  match Int_table.find t.region_len start with
+  | Some len when len = pages ->
+    for v = start to start + pages - 1 do
+      release_page t v
+    done;
+    ignore (Int_table.remove t.region_len start);
+    ignore (Page_list.remove t.regions start);
+    (* Interior entries may be stale in the PWC. *)
+    Walker.invalidate t.walker
+  | Some _ -> invalid_arg "Vmm.munmap: length mismatch"
+  | None -> invalid_arg "Vmm.munmap: unknown region"
+
+(* CLOCK reclaim over the resident list using the table's accessed
+   bits: rotate, clearing bits, until a cold page comes up. *)
+let reclaim_frame t =
+  let rec sweep guard =
+    match Page_list.pop_back t.resident with
+    | None -> failwith "Vmm: no resident page to reclaim"
+    | Some victim ->
+      let m = Option.get (Page_table.lookup t.table victim) in
+      if m.Page_table.flags.Page_table.accessed && guard > 0 then begin
+        (* Second chance: clear the accessed bit (dirty is preserved)
+           and rotate to the front. *)
+        ignore (Page_table.clear_accessed t.table victim);
+        Page_list.push_front t.resident victim;
+        sweep (guard - 1)
+      end
+      else begin
+        let c = t.counters in
+        let dirty = m.Page_table.flags.Page_table.dirty in
+        t.counters <-
+          { c with
+            evictions = c.evictions + 1;
+            writebacks = (c.writebacks + if dirty then 1 else 0);
+            total_cycles =
+              (c.total_cycles + if dirty then t.cfg.io_cycles else 0) };
+        Int_table.set t.swapped victim 1;
+        let frame = m.Page_table.frame in
+        ignore (Page_table.unmap t.table ~vpage:victim);
+        ignore (Atp_tlb.Tlb.invalidate t.tlb victim);
+        Buddy.free t.buddy ~base:frame ~order:0;
+        frame
+      end
+  in
+  sweep (Page_list.length t.resident)
+
+let fault_in t vpage =
+  let frame =
+    match Buddy.alloc t.buddy ~order:0 with
+    | Some frame -> frame
+    | None ->
+      (* Reclaim frees exactly one order-0 frame, so this retry cannot
+         fail. *)
+      ignore (reclaim_frame t : int);
+      (match Buddy.alloc t.buddy ~order:0 with
+       | Some f -> f
+       | None -> assert false)
+  in
+  let was_swapped = Int_table.mem t.swapped vpage in
+  ignore (Int_table.remove t.swapped vpage);
+  Page_table.map t.table ~vpage ~frame ();
+  Page_list.push_front t.resident vpage;
+  let c = t.counters in
+  if was_swapped then
+    t.counters <-
+      { c with
+        major_faults = c.major_faults + 1;
+        total_cycles = c.total_cycles + t.cfg.io_cycles }
+  else t.counters <- { c with minor_faults = c.minor_faults + 1 };
+  frame
+
+let touch t vpage ~write =
+  if vpage < 0 then invalid_arg "Vmm: negative page";
+  if not (is_mapped t vpage) then raise (Segfault vpage);
+  let c = t.counters in
+  t.counters <- { c with accesses = c.accesses + 1 };
+  (match Atp_tlb.Tlb.lookup t.tlb vpage with
+   | Some _frame ->
+     let c = t.counters in
+     t.counters <-
+       { c with
+         tlb_hits = c.tlb_hits + 1;
+         total_cycles = c.total_cycles + t.cfg.tlb_hit_cycles }
+   | None ->
+     let c = t.counters in
+     t.counters <- { c with tlb_misses = c.tlb_misses + 1 };
+     let walk = Walker.translate t.walker vpage in
+     let c = t.counters in
+     t.counters <-
+       { c with
+         walk_cycles = c.walk_cycles + walk.Walker.cycles;
+         total_cycles = c.total_cycles + walk.Walker.cycles };
+     let frame =
+       match walk.Walker.mapping with
+       | Some m -> m.Page_table.frame
+       | None -> fault_in t vpage
+     in
+     ignore (Atp_tlb.Tlb.insert t.tlb vpage frame));
+  if write then ignore (Page_table.set_dirty t.table vpage)
+
+let read t vpage = touch t vpage ~write:false
+
+let write t vpage = touch t vpage ~write:true
+
+let average_cycles_per_access t =
+  if t.counters.accesses = 0 then 0.0
+  else float_of_int t.counters.total_cycles /. float_of_int t.counters.accesses
+
+let translation_fraction t =
+  if t.counters.total_cycles = 0 then 0.0
+  else begin
+    let translation =
+      t.counters.walk_cycles + (t.counters.tlb_hits * t.cfg.tlb_hit_cycles)
+    in
+    float_of_int translation /. float_of_int t.counters.total_cycles
+  end
+
+let pp_counters ppf c =
+  Format.fprintf ppf
+    "accesses=%a tlb-hits=%a tlb-misses=%a minor=%a major=%a writebacks=%a \
+     evictions=%a walk-cycles=%a total-cycles=%a"
+    Stats.pp_count c.accesses Stats.pp_count c.tlb_hits Stats.pp_count
+    c.tlb_misses Stats.pp_count c.minor_faults Stats.pp_count c.major_faults
+    Stats.pp_count c.writebacks Stats.pp_count c.evictions Stats.pp_count
+    c.walk_cycles Stats.pp_count c.total_cycles

@@ -1,0 +1,75 @@
+(** A complete demand-paged virtual-memory manager.
+
+    This ties every MMU substrate together into the system a process
+    actually runs on: mmap'd regions, a radix {!Page_table}, a
+    hardware TLB in front of a {!Walker} (so TLB misses cost measured
+    cycles, not an assumed ε), a {!Buddy}-backed physical memory, a
+    swap device, CLOCK reclaim driven by the page table's real
+    accessed bits, and dirty-page writeback (an extra IO the pure
+    model's free evictions hide).
+
+    All costs are reported in cycles on one axis — translation and
+    paging together, which is precisely the paper's point that the two
+    must be co-optimized. *)
+
+exception Segfault of int
+(** Raised on access to an unmapped virtual page. *)
+
+type config = {
+  ram_pages : int;
+  tlb_entries : int;
+  walker : Walker.config;
+  tlb_hit_cycles : int;  (** default 1 *)
+  io_cycles : int;  (** swap-in / writeback latency (default 40_000) *)
+}
+
+val default_config : config
+
+type counters = {
+  accesses : int;
+  tlb_hits : int;
+  tlb_misses : int;
+  minor_faults : int;  (** first-touch fills (zero pages): no swap IO *)
+  major_faults : int;  (** swap-ins *)
+  writebacks : int;  (** dirty evictions *)
+  evictions : int;
+  walk_cycles : int;
+  total_cycles : int;
+}
+
+type t
+
+val create : config -> t
+
+val mmap : t -> start:int -> pages:int -> unit
+(** Declare a valid virtual region (no physical backing yet).  Raises
+    [Invalid_argument] on overlap with an existing region. *)
+
+val munmap : t -> start:int -> pages:int -> unit
+(** Invalidate a region: frees frames, forgets swap copies, shoots
+    down TLB entries. *)
+
+val is_mapped : t -> int -> bool
+(** Is the page inside a mmap'd region? *)
+
+val read : t -> int -> unit
+(** Raises {!Segfault} outside mmap'd regions. *)
+
+val write : t -> int -> unit
+(** Like {!read} but marks the page dirty, so its eviction costs a
+    writeback. *)
+
+val resident_pages : t -> int
+
+val counters : t -> counters
+
+val reset_counters : t -> unit
+
+val average_cycles_per_access : t -> float
+
+val translation_fraction : t -> float
+(** Share of all cycles spent on address translation (TLB + walks) as
+    opposed to paging IO — the quantity the paper reports can reach
+    83% of execution time. *)
+
+val pp_counters : Format.formatter -> counters -> unit

@@ -1,0 +1,91 @@
+type config = {
+  pwc_entries : int;
+  memory_latency : int;
+  pwc_latency : int;
+}
+
+let default_config = { pwc_entries = 32; memory_latency = 100; pwc_latency = 2 }
+
+type result = {
+  mapping : Page_table.mapping option;
+  memory_accesses : int;
+  cycles : int;
+}
+
+type stats = {
+  walks : int;
+  total_cycles : int;
+  total_memory_accesses : int;
+  pwc_hits : int;
+}
+
+type t = {
+  config : config;
+  table : Page_table.t;
+  (* Key: (skip, vpage prefix).  A hit with skip = g means the top g
+     levels of the walk are already resolved. *)
+  pwc : unit Atp_tlb.Tlb.t;
+  mutable stats : stats;
+}
+
+let create ?(config = default_config) table =
+  {
+    config;
+    table;
+    pwc = Atp_tlb.Tlb.create ~entries:config.pwc_entries ();
+    stats = { walks = 0; total_cycles = 0; total_memory_accesses = 0; pwc_hits = 0 };
+  }
+
+let key ~skip vpage =
+  let bits = (Page_table.levels - skip) * Page_table.fanout_bits in
+  ((vpage lsr bits) * 4) lor skip
+
+(* How many node visits the walk needs with no PWC at all: 1 per level
+   down to the leaf (or to the empty slot that proves a fault). *)
+let natural_visits table vpage =
+  let mapping, visits = Page_table.walk table vpage in
+  (mapping, visits)
+
+let translate t vpage =
+  let mapping, visits = natural_visits t.table vpage in
+  (* Probe for the deepest usable prefix; each probe costs pwc_latency
+     but only the successful one is a "hit". *)
+  let max_skip = min (Page_table.levels - 1) (visits - 1) in
+  let rec probe skip probes =
+    if skip < 1 then (0, probes)
+    else
+      match Atp_tlb.Tlb.lookup t.pwc (key ~skip vpage) with
+      | Some () -> (skip, probes + 1)
+      | None -> probe (skip - 1) (probes + 1)
+  in
+  let skip, probes = probe max_skip 0 in
+  let memory_accesses = max 1 (visits - skip) in
+  let cycles =
+    (memory_accesses * t.config.memory_latency) + (probes * t.config.pwc_latency)
+  in
+  (* Fill the PWC with every interior entry this walk resolved, as the
+     hardware would. *)
+  for g = 1 to max_skip do
+    ignore (Atp_tlb.Tlb.insert t.pwc (key ~skip:g vpage) ())
+  done;
+  let s = t.stats in
+  t.stats <-
+    {
+      walks = s.walks + 1;
+      total_cycles = s.total_cycles + cycles;
+      total_memory_accesses = s.total_memory_accesses + memory_accesses;
+      pwc_hits = (s.pwc_hits + if skip > 0 then 1 else 0);
+    };
+  { mapping; memory_accesses; cycles }
+
+let invalidate t = Atp_tlb.Tlb.flush t.pwc
+
+let stats t = t.stats
+
+let average_cycles t =
+  if t.stats.walks = 0 then 0.0
+  else float_of_int t.stats.total_cycles /. float_of_int t.stats.walks
+
+let epsilon t ~io_latency_cycles =
+  if io_latency_cycles <= 0 then invalid_arg "Walker.epsilon: bad IO latency";
+  average_cycles t /. float_of_int io_latency_cycles

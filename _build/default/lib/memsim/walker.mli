@@ -1,0 +1,56 @@
+(** A hardware page-table walker with a page-walk cache (PWC).
+
+    The paper treats the TLB-miss cost ε as a model parameter ("it can
+    take hundreds or even thousands of CPU cycles to perform an
+    address translation in the page table").  This module grounds that
+    number: a TLB miss triggers a radix walk of the {!Page_table},
+    each level costing a memory access unless the walker's PWC already
+    holds the matching interior entry — the MMU caches (paging
+    structure caches) real CPUs implement.  Huge-page leaves terminate
+    walks early, which is the second, often forgotten, benefit of
+    large pages.
+
+    [epsilon] converts the measured average walk latency into the
+    paper's ε by dividing by the cost of an IO in cycles. *)
+
+type config = {
+  pwc_entries : int;  (** entries of the page-walk cache (default 32) *)
+  memory_latency : int;  (** cycles per page-table memory access (default 100) *)
+  pwc_latency : int;  (** cycles for a PWC probe (default 2) *)
+}
+
+val default_config : config
+
+type result = {
+  mapping : Page_table.mapping option;
+  memory_accesses : int;  (** page-table loads actually performed *)
+  cycles : int;
+}
+
+type stats = {
+  walks : int;
+  total_cycles : int;
+  total_memory_accesses : int;
+  pwc_hits : int;
+}
+
+type t
+
+val create : ?config:config -> Page_table.t -> t
+
+val translate : t -> int -> result
+(** Walk the table for a virtual page, consulting and filling the
+    PWC. *)
+
+val invalidate : t -> unit
+(** Flush the PWC (after an unmap, mirroring real MMU behaviour). *)
+
+val stats : t -> stats
+
+val average_cycles : t -> float
+(** Mean walk latency; 0 before any walk. *)
+
+val epsilon : t -> io_latency_cycles:int -> float
+(** [average_cycles / io_latency_cycles]: the measured ε of the
+    address-translation cost model for this table and access
+    pattern. *)

@@ -1,0 +1,1 @@
+lib/paging/arc.ml: Atp_util Page_list Policy

@@ -1,0 +1,1 @@
+lib/paging/clock.ml: Array Atp_util Bitvec Int_table Policy

@@ -1,0 +1,1 @@
+lib/paging/clock.mli: Policy

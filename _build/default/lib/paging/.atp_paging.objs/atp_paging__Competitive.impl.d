@@ -1,0 +1,1 @@
+lib/paging/competitive.ml: Array List Lru Opt Option Policy Sim

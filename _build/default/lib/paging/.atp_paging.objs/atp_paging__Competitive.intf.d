@@ -1,0 +1,1 @@
+lib/paging/competitive.mli: Atp_util Policy

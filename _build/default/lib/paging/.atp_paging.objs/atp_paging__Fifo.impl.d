@@ -1,0 +1,1 @@
+lib/paging/fifo.ml: Atp_util Lru_list Policy Slots

@@ -1,0 +1,1 @@
+lib/paging/lfu.ml: Atp_util Heap Int_table Policy

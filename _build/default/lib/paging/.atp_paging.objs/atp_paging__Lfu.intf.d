@@ -1,0 +1,1 @@
+lib/paging/lfu.mli: Policy

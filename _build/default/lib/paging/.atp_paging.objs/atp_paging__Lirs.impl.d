@@ -1,0 +1,1 @@
+lib/paging/lirs.ml: Atp_util Hashtbl Page_list Policy

@@ -1,0 +1,1 @@
+lib/paging/lirs.mli: Policy

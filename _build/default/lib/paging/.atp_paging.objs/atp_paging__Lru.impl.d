@@ -1,0 +1,1 @@
+lib/paging/lru.ml: Atp_util Lru_list Policy Slots

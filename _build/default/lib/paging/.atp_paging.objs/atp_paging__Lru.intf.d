@@ -1,0 +1,1 @@
+lib/paging/lru.mli: Policy

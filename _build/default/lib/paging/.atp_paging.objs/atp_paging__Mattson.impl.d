@@ -1,0 +1,1 @@
+lib/paging/mattson.ml: Array Atp_util Int_table List

@@ -1,0 +1,1 @@
+lib/paging/opt.ml: Array Atp_util Heap Int_table Policy

@@ -1,0 +1,1 @@
+lib/paging/opt.mli: Policy

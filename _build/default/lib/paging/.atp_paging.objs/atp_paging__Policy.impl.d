@@ -1,0 +1,1 @@
+lib/paging/policy.ml: Atp_util

@@ -1,0 +1,1 @@
+lib/paging/policy.mli: Atp_util

@@ -1,0 +1,1 @@
+lib/paging/rand_policy.ml: Atp_util Policy Prng Slots

@@ -1,0 +1,1 @@
+lib/paging/rand_policy.mli: Policy

@@ -1,0 +1,1 @@
+lib/paging/registry.ml: Arc Clock Fifo Lfu Lirs List Lru Mru Policy Printf Rand_policy Slru String Two_q

@@ -1,0 +1,1 @@
+lib/paging/registry.mli: Policy

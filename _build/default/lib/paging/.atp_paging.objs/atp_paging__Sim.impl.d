@@ -1,0 +1,1 @@
+lib/paging/sim.ml: Array Atp_util Format Policy Seq

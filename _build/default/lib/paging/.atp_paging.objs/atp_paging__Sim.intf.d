@@ -1,0 +1,1 @@
+lib/paging/sim.mli: Format Policy Seq

@@ -1,0 +1,1 @@
+lib/paging/slots.ml: Array Atp_util Int_table

@@ -1,0 +1,1 @@
+lib/paging/slots.mli:

@@ -1,0 +1,1 @@
+lib/paging/slru.ml: Atp_util Page_list Policy

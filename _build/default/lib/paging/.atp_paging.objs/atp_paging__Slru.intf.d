@@ -1,0 +1,1 @@
+lib/paging/slru.mli: Policy

@@ -1,0 +1,1 @@
+lib/paging/two_q.ml: Atp_util Page_list Policy

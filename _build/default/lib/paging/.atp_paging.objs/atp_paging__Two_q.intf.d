@@ -1,0 +1,1 @@
+lib/paging/two_q.mli: Policy

@@ -1,0 +1,8 @@
+(** ARC — Adaptive Replacement Cache (Megiddo & Modha, FAST 2003).
+
+    Balances a recency list [T1] against a frequency list [T2],
+    steering the split with ghost hits in [B1]/[B2].  Included both as
+    a strong online RAM-replacement policy and to demonstrate that the
+    decoupling scheme is policy-agnostic. *)
+
+include Policy.S

@@ -1,0 +1,5 @@
+(** CLOCK (second-chance) replacement: a one-bit approximation of LRU
+    that real MMUs use because it needs only a referenced bit per
+    frame. *)
+
+include Policy.S

@@ -1,0 +1,35 @@
+let misses_of (module P : Policy.S) ?rng ~capacity trace =
+  let inst = Policy.instantiate (module P) ?rng ~capacity () in
+  (Sim.run inst trace).Sim.misses
+
+let ratio_vs_opt (module P : Policy.S) ?rng ~capacity ?opt_capacity trace =
+  let opt_capacity = Option.value opt_capacity ~default:capacity in
+  let policy_misses = misses_of (module P) ?rng ~capacity trace in
+  let opt_misses = Opt.misses ~capacity:opt_capacity trace in
+  if opt_misses = 0 then if policy_misses = 0 then 1.0 else infinity
+  else float_of_int policy_misses /. float_of_int opt_misses
+
+let lru_adversary ~capacity ~length =
+  if capacity < 1 then invalid_arg "Competitive.lru_adversary: bad capacity";
+  Array.init length (fun i -> i mod (capacity + 1))
+
+let sleator_tarjan_bound ~k ~h =
+  if h < 1 || h > k then invalid_arg "Competitive.sleator_tarjan_bound: need 1 <= h <= k";
+  float_of_int k /. float_of_int (k - h + 1)
+
+let check_sleator_tarjan ?rng ~k ~h trace =
+  let lru = misses_of (module Lru) ?rng ~capacity:k trace in
+  let opt = Opt.misses ~capacity:h trace in
+  (* LRU(k) <= k/(k-h+1) * OPT(h) + h (the additive term covers the
+     initial configuration difference). *)
+  float_of_int lru
+  <= (sleator_tarjan_bound ~k ~h *. float_of_int opt) +. float_of_int h
+
+let augmentation_curve (module P : Policy.S) ?rng ~k ~hs trace =
+  List.map
+    (fun h ->
+      if h < 1 || h > k then invalid_arg "Competitive.augmentation_curve: bad h";
+      ( h,
+        ratio_vs_opt (module P) ?rng ~capacity:k ~opt_capacity:h trace,
+        sleator_tarjan_bound ~k ~h ))
+    hs

@@ -1,0 +1,49 @@
+(** Empirical competitive analysis, Sleator–Tarjan style.
+
+    The classical results the paper builds on: LRU (and FIFO) are
+    k-competitive against OPT, and with resource augmentation LRU with
+    [k] pages incurs at most [k/(k-h+1)] times the misses of OPT with
+    [h <= k] pages.  This module measures those ratios on concrete
+    traces, generates the adversarial request sequences that realize
+    the lower bounds, and checks the augmented inequality — the same
+    augmented-competitiveness style of guarantee Theorem 4 gives for
+    the combined problem. *)
+
+val ratio_vs_opt :
+  (module Policy.S) ->
+  ?rng:Atp_util.Prng.t ->
+  capacity:int ->
+  ?opt_capacity:int ->
+  int array ->
+  float
+(** Misses of the policy at [capacity] divided by OPT's misses at
+    [opt_capacity] (default: same capacity).  [infinity] when OPT
+    never misses beyond zero... OPT always has compulsory misses on a
+    non-empty trace, so the ratio is finite for non-empty traces. *)
+
+val lru_adversary : capacity:int -> length:int -> int array
+(** The cyclic sequence over [capacity + 1] pages on which LRU faults
+    every request while OPT faults roughly once per [capacity]
+    requests — the tight k-competitiveness instance. *)
+
+val sleator_tarjan_bound : k:int -> h:int -> float
+(** [k / (k - h + 1)]: the augmented competitive ratio of LRU with [k]
+    pages against OPT with [h] pages.  Requires [1 <= h <= k]. *)
+
+val check_sleator_tarjan :
+  ?rng:Atp_util.Prng.t -> k:int -> h:int -> int array -> bool
+(** Does LRU(k) satisfy the augmented bound against OPT(h) on this
+    trace?  (It must, for every trace — the theorem is worst-case; the
+    check exists for the test suite and for exploring how loose the
+    bound is in practice.)  Compulsory misses are included on both
+    sides, which only slackens the inequality. *)
+
+val augmentation_curve :
+  (module Policy.S) ->
+  ?rng:Atp_util.Prng.t ->
+  k:int ->
+  hs:int list ->
+  int array ->
+  (int * float * float) list
+(** For each [h]: [(h, measured ratio vs OPT(h), Sleator–Tarjan
+    bound)]. *)

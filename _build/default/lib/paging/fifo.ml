@@ -1,0 +1,41 @@
+open Atp_util
+
+type t = { slots : Slots.t; order : Lru_list.t }
+
+let name = "fifo"
+
+let create ?rng ~capacity () =
+  ignore rng;
+  { slots = Slots.create capacity; order = Lru_list.create capacity }
+
+let capacity t = Slots.capacity t.slots
+
+let size t = Slots.size t.slots
+
+let mem t page = Slots.slot_of_page t.slots page <> None
+
+let access t page =
+  match Slots.slot_of_page t.slots page with
+  | Some _ -> Policy.Hit
+  | None ->
+    let evicted =
+      if Slots.is_full t.slots then begin
+        match Lru_list.pop_back t.order with
+        | None -> assert false
+        | Some victim_slot -> Some (Slots.release t.slots victim_slot)
+      end
+      else None
+    in
+    let slot = Slots.alloc t.slots page in
+    Lru_list.push_front t.order slot;
+    Policy.Miss { evicted }
+
+let remove t page =
+  match Slots.slot_of_page t.slots page with
+  | None -> false
+  | Some slot ->
+    Lru_list.remove t.order slot;
+    ignore (Slots.release t.slots slot);
+    true
+
+let resident t = Slots.resident t.slots

@@ -1,0 +1,5 @@
+(** Least-frequently-used replacement with a lazy-deletion min-heap.
+    Frequency counts persist only while a page is resident (in-cache
+    LFU); ties break towards the least recently inserted entry. *)
+
+include Policy.S

@@ -1,0 +1,14 @@
+(** LIRS — Low Inter-reference Recency Set (Jiang & Zhang, SIGMETRICS
+    2002).
+
+    Pages with small reuse distance (LIR) hold almost all of the
+    cache; a small window of resident HIR pages plus non-resident HIR
+    ghosts in the recency stack detect when a page's reuse distance
+    drops, promoting it to LIR.  Consistently stronger than LRU on
+    loops and scans.
+
+    The recency stack is bounded at roughly twice the capacity by
+    discarding the oldest non-resident ghosts, the standard practical
+    variant. *)
+
+include Policy.S

@@ -1,0 +1,115 @@
+open Atp_util
+
+(* Fenwick tree over access timestamps.  Position i holds 1 iff the
+   access at time i is the most recent access of its page; the stack
+   distance of a re-access is then the number of set positions strictly
+   between the previous access and now. *)
+
+type t = {
+  mutable bit : int array;  (* 1-based Fenwick array *)
+  mutable capacity : int;
+  mutable time : int;
+  last_access : Int_table.t;  (* page -> timestamp of latest access *)
+  (* distance histogram; index = stack distance, capped *)
+  mutable histogram : int array;
+  mutable cold : int;
+}
+
+let create () =
+  {
+    bit = Array.make 1024 0;
+    capacity = 1023;
+    time = 0;
+    last_access = Int_table.create ();
+    histogram = Array.make 1024 0;
+    cold = 0;
+  }
+
+let rec bit_add t i delta =
+  if i <= t.capacity then begin
+    t.bit.(i) <- t.bit.(i) + delta;
+    bit_add t (i + (i land -i)) delta
+  end
+
+let bit_prefix t i =
+  let rec go i acc =
+    if i <= 0 then acc else go (i - (i land -i)) (acc + t.bit.(i))
+  in
+  go (min i t.capacity) 0
+
+let grow_bit t =
+  let old = t.bit and old_cap = t.capacity in
+  t.capacity <- (2 * (old_cap + 1)) - 1;
+  t.bit <- Array.make (t.capacity + 1) 0;
+  (* Re-add the set positions: reconstruct point values from the old
+     Fenwick array by prefix differences. *)
+  let prefix i =
+    let rec go i acc = if i <= 0 then acc else go (i - (i land -i)) (acc + old.(i)) in
+    go i 0
+  in
+  for i = 1 to old_cap do
+    let v = prefix i - prefix (i - 1) in
+    if v <> 0 then bit_add t i v
+  done
+
+let bump_histogram t d =
+  let len = Array.length t.histogram in
+  if d >= len then begin
+    let narr = Array.make (max (2 * len) (d + 1)) 0 in
+    Array.blit t.histogram 0 narr 0 len;
+    t.histogram <- narr
+  end;
+  t.histogram.(d) <- t.histogram.(d) + 1
+
+let access t page =
+  t.time <- t.time + 1;
+  let now = t.time in
+  if now > t.capacity then grow_bit t;
+  (match Int_table.find t.last_access page with
+   | None -> t.cold <- t.cold + 1
+   | Some prev ->
+     (* Distinct pages touched strictly after [prev]: each has exactly
+        one "most recent" flag in (prev, now). *)
+     let distance = bit_prefix t (now - 1) - bit_prefix t prev in
+     bump_histogram t distance;
+     bit_add t prev (-1));
+  bit_add t now 1;
+  Int_table.set t.last_access page now
+
+let of_trace trace =
+  let t = create () in
+  Array.iter (access t) trace;
+  t
+
+let accesses t = t.time
+
+let cold_misses t = t.cold
+
+let distinct_pages t = Int_table.length t.last_access
+
+let misses t c =
+  if c < 1 then invalid_arg "Mattson.misses: capacity must be at least 1";
+  (* Re-accesses at distance >= c miss. *)
+  let far = ref 0 in
+  for d = c to Array.length t.histogram - 1 do
+    far := !far + t.histogram.(d)
+  done;
+  t.cold + !far
+
+let curve t ~capacities = List.map (fun c -> (c, misses t c)) capacities
+
+let working_set_size t ~fraction =
+  if fraction <= 0.0 || fraction > 1.0 then
+    invalid_arg "Mattson.working_set_size: fraction out of range";
+  let reaccesses = t.time - t.cold in
+  if reaccesses = 0 then 1
+  else begin
+    let needed =
+      int_of_float (ceil (fraction *. float_of_int reaccesses))
+    in
+    let rec scan c covered =
+      if covered >= needed || c >= Array.length t.histogram then max 1 c
+      else scan (c + 1) (covered + t.histogram.(c))
+    in
+    scan 0 0
+  end

@@ -1,0 +1,6 @@
+(** Most-recently-used replacement.  Pathological for temporal locality
+    but optimal for cyclic scans just larger than the cache; included
+    as a baseline and as an adversarial RAM-replacement policy for the
+    decoupling tests. *)
+
+include Policy.S

@@ -1,0 +1,46 @@
+type outcome =
+  | Hit
+  | Miss of { evicted : int option }
+
+module type S = sig
+  type t
+
+  val name : string
+  val create : ?rng:Atp_util.Prng.t -> capacity:int -> unit -> t
+  val capacity : t -> int
+  val size : t -> int
+  val mem : t -> int -> bool
+  val access : t -> int -> outcome
+  val remove : t -> int -> bool
+  val resident : t -> int list
+end
+
+type instance = {
+  name : string;
+  capacity : int;
+  size : unit -> int;
+  mem : int -> bool;
+  access : int -> outcome;
+  remove : int -> bool;
+  resident : unit -> int list;
+}
+
+let instantiate (module P : S) ?rng ~capacity () =
+  let state = P.create ?rng ~capacity () in
+  {
+    name = P.name;
+    capacity;
+    size = (fun () -> P.size state);
+    mem = (fun page -> P.mem state page);
+    access = (fun page -> P.access state page);
+    remove = (fun page -> P.remove state page);
+    resident = (fun () -> P.resident state);
+  }
+
+let evicted = function
+  | Hit -> None
+  | Miss { evicted } -> evicted
+
+let is_hit = function
+  | Hit -> true
+  | Miss _ -> false

@@ -1,0 +1,4 @@
+(** Uniform random replacement.  Memoryless; the classical
+    competitive-analysis baseline for randomized paging. *)
+
+include Policy.S

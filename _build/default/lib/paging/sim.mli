@@ -1,0 +1,28 @@
+(** Miss-counting cache simulation: the classical paging problem of
+    Sleator and Tarjan, which Lemma 1 reduces both halves of the
+    address-translation problem to. *)
+
+type stats = {
+  accesses : int;
+  hits : int;
+  misses : int;
+  evictions : int;
+}
+
+val empty_stats : stats
+
+val record : stats -> Policy.outcome -> stats
+
+val run :
+  ?on_event:(int -> Policy.outcome -> unit) ->
+  Policy.instance -> int array -> stats
+(** Service every request in the trace.  [on_event i outcome] fires
+    after each request, for callers that correlate with other state. *)
+
+val run_seq : Policy.instance -> int Seq.t -> stats
+(** Streaming variant for traces too large to materialize. *)
+
+val miss_rate : stats -> float
+(** Misses per access; 0 for an empty trace. *)
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,29 @@
+(** Internal slot bookkeeping shared by the list-based policies.
+
+    A cache of capacity [c] owns slots [0..c-1]; this module tracks the
+    page occupying each slot and the inverse page-to-slot index, leaving
+    the eviction discipline (the interesting part) to each policy. *)
+
+type t
+
+val create : int -> t
+
+val capacity : t -> int
+
+val size : t -> int
+
+val is_full : t -> bool
+
+val slot_of_page : t -> int -> int option
+
+val page_of_slot : t -> int -> int
+(** Raises [Invalid_argument] if the slot is free. *)
+
+val alloc : t -> int -> int
+(** [alloc t page] places [page] in a free slot and returns it.  Raises
+    [Invalid_argument] if full or if the page is already resident. *)
+
+val release : t -> int -> int
+(** [release t slot] frees the slot and returns the page it held. *)
+
+val resident : t -> int list

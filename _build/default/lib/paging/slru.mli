@@ -1,0 +1,6 @@
+(** Segmented LRU: a probationary segment absorbs new pages; a second
+    hit promotes to the protected segment (80% of capacity by
+    default).  A scan-resistant LRU variant common in storage
+    caches. *)
+
+include Policy.S

@@ -1,0 +1,1 @@
+lib/tlb/asid.ml: Hashtbl List Option Tlb

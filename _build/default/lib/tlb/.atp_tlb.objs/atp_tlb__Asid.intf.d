@@ -1,0 +1,1 @@
+lib/tlb/asid.mli: Tlb

@@ -1,0 +1,1 @@
+lib/tlb/set_assoc.ml: Array Atp_util Hashing Tlb

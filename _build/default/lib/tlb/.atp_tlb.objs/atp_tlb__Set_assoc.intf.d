@@ -1,0 +1,1 @@
+lib/tlb/set_assoc.mli: Tlb

@@ -1,0 +1,1 @@
+lib/tlb/split.ml: List Option Tlb

@@ -1,0 +1,1 @@
+lib/tlb/tlb.ml: Atp_paging Atp_util Format Hashtbl List Lru Policy

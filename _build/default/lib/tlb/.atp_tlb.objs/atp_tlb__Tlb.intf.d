@@ -1,0 +1,1 @@
+lib/tlb/tlb.mli: Atp_paging Atp_util Format

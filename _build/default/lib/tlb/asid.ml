@@ -1,0 +1,58 @@
+type 'a t = {
+  asid_bits : int;
+  vpage_bits : int;
+  tlb : 'a Tlb.t;
+}
+
+let create ?(asid_bits = 12) ~entries () =
+  if asid_bits < 1 || asid_bits > 20 then invalid_arg "Asid.create: bad asid_bits";
+  (* Keys combine asid and vpage in one int: vpage gets the rest of the
+     62 usable bits. *)
+  { asid_bits; vpage_bits = 62 - asid_bits; tlb = Tlb.create ~entries () }
+
+let max_asid t = (1 lsl t.asid_bits) - 1
+
+let entries t = Tlb.entries t.tlb
+
+let key t ~asid vpage =
+  if asid < 0 || asid > max_asid t then invalid_arg "Asid: asid out of range";
+  if vpage < 0 || vpage >= 1 lsl t.vpage_bits then
+    invalid_arg "Asid: vpage out of range";
+  (asid lsl t.vpage_bits) lor vpage
+
+let split_key t k = (k lsr t.vpage_bits, k land ((1 lsl t.vpage_bits) - 1))
+
+let lookup t ~asid vpage = Tlb.lookup t.tlb (key t ~asid vpage)
+
+let insert t ~asid vpage payload =
+  Option.map
+    (fun (k, p) ->
+      let a, v = split_key t k in
+      (a, v, p))
+    (Tlb.insert t.tlb (key t ~asid vpage) payload)
+
+let invalidate t ~asid vpage = Tlb.invalidate t.tlb (key t ~asid vpage)
+
+let flush_asid t asid =
+  if asid < 0 || asid > max_asid t then invalid_arg "Asid.flush_asid: bad asid";
+  let doomed = ref [] in
+  Tlb.iter
+    (fun k _ -> if fst (split_key t k) = asid then doomed := k :: !doomed)
+    t.tlb;
+  List.iter (fun k -> ignore (Tlb.invalidate t.tlb k)) !doomed;
+  List.length !doomed
+
+let flush_all t = Tlb.flush t.tlb
+
+let stats t = Tlb.stats t.tlb
+
+let reset_stats t = Tlb.reset_stats t.tlb
+
+let per_asid_share t =
+  let counts = Hashtbl.create 16 in
+  Tlb.iter
+    (fun k _ ->
+      let a = fst (split_key t k) in
+      Hashtbl.replace counts a (1 + Option.value (Hashtbl.find_opt counts a) ~default:0))
+    t.tlb;
+  List.sort compare (Hashtbl.fold (fun a c acc -> (a, c) :: acc) counts [])

@@ -1,0 +1,44 @@
+(** An ASID-tagged TLB shared by multiple address spaces.
+
+    The paper observes that TLBs increasingly hold entries for several
+    threads and even several applications at once, shrinking each
+    one's effective share.  This model tags every entry with an
+    address-space id, so context switches need no flush; the
+    alternative — an untagged TLB flushed on every switch — can be
+    simulated with {!flush_all} to measure what ASIDs buy.
+
+    Replacement is global LRU across all address spaces, as in real
+    shared TLBs: a noisy neighbor really does evict your
+    translations. *)
+
+type 'a t
+
+val create : ?asid_bits:int -> entries:int -> unit -> 'a t
+(** [asid_bits] (default 12, as on x86) bounds the id space. *)
+
+val max_asid : 'a t -> int
+
+val entries : 'a t -> int
+
+val lookup : 'a t -> asid:int -> int -> 'a option
+
+val insert : 'a t -> asid:int -> int -> 'a -> (int * int * 'a) option
+(** Returns the evicted (asid, vpage, payload), possibly belonging to
+    a different address space. *)
+
+val invalidate : 'a t -> asid:int -> int -> bool
+
+val flush_asid : 'a t -> int -> int
+(** Drop every entry of one address space (e.g. on process exit);
+    returns how many were dropped. *)
+
+val flush_all : 'a t -> unit
+(** What a switch costs without ASIDs. *)
+
+val stats : 'a t -> Tlb.stats
+
+val reset_stats : 'a t -> unit
+
+val per_asid_share : 'a t -> (int * int) list
+(** Current entry count per address space: the effective-TLB-share
+    measurement, sorted by asid. *)

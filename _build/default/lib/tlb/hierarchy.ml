@@ -1,0 +1,73 @@
+type config = {
+  l1_entries : int;
+  l2_entries : int;
+  l1_latency : int;
+  l2_latency : int;
+}
+
+let default_config =
+  { l1_entries = 64; l2_entries = 1536; l1_latency = 1; l2_latency = 7 }
+
+type outcome =
+  | L1_hit of int
+  | L2_hit of int
+  | Miss of int
+
+type 'a t = {
+  cfg : config;
+  l1 : 'a Tlb.t;
+  l2 : 'a Tlb.t;
+  mutable total_cycles : int;
+  mutable lookups : int;
+}
+
+let create ?(config = default_config) () =
+  {
+    cfg = config;
+    l1 = Tlb.create ~entries:config.l1_entries ();
+    l2 = Tlb.create ~entries:config.l2_entries ();
+    total_cycles = 0;
+    lookups = 0;
+  }
+
+let lookup t key =
+  t.lookups <- t.lookups + 1;
+  match Tlb.lookup t.l1 key with
+  | Some payload ->
+    let cycles = t.cfg.l1_latency in
+    t.total_cycles <- t.total_cycles + cycles;
+    (Some payload, L1_hit cycles)
+  | None ->
+    (match Tlb.lookup t.l2 key with
+     | Some payload ->
+       let cycles = t.cfg.l1_latency + t.cfg.l2_latency in
+       t.total_cycles <- t.total_cycles + cycles;
+       (* Refill L1; the L1 victim just loses its fast path (L2 is
+          inclusive, so no data is lost). *)
+       ignore (Tlb.insert t.l1 key payload);
+       (Some payload, L2_hit cycles)
+     | None ->
+       let cycles = t.cfg.l1_latency + t.cfg.l2_latency in
+       t.total_cycles <- t.total_cycles + cycles;
+       (None, Miss cycles))
+
+let insert t key payload =
+  ignore (Tlb.insert t.l2 key payload);
+  ignore (Tlb.insert t.l1 key payload)
+
+let invalidate t key =
+  let a = Tlb.invalidate t.l1 key in
+  let b = Tlb.invalidate t.l2 key in
+  a || b
+
+let total_cycles t = t.total_cycles
+
+let lookups t = t.lookups
+
+let l1_stats t = Tlb.stats t.l1
+
+let l2_stats t = Tlb.stats t.l2
+
+let average_latency t =
+  if t.lookups = 0 then 0.0
+  else float_of_int t.total_cycles /. float_of_int t.lookups

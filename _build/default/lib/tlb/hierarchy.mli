@@ -1,0 +1,42 @@
+(** A two-level TLB hierarchy (L1 + L2), as real cores implement: a
+    tiny fast L1 in front of a large slower L2, both looked up before
+    the page walker is engaged.  The hierarchy is inclusive on fills
+    (an L2 hit refills L1) and reports latency in cycles so the
+    effective per-access translation cost can be compared against the
+    single-level model. *)
+
+type 'a t
+
+type config = {
+  l1_entries : int;  (** default 64 *)
+  l2_entries : int;  (** default 1536 *)
+  l1_latency : int;  (** cycles on an L1 hit (default 1) *)
+  l2_latency : int;  (** additional cycles on an L2 hit (default 7) *)
+}
+
+val default_config : config
+
+type outcome =
+  | L1_hit of int  (** cycles *)
+  | L2_hit of int
+  | Miss of int  (** cycles burned probing both levels *)
+
+val create : ?config:config -> unit -> 'a t
+
+val lookup : 'a t -> int -> 'a option * outcome
+
+val insert : 'a t -> int -> 'a -> unit
+(** Fill both levels (as a page walk completion does). *)
+
+val invalidate : 'a t -> int -> bool
+(** Shoot down in both levels. *)
+
+val total_cycles : 'a t -> int
+
+val lookups : 'a t -> int
+
+val l1_stats : 'a t -> Tlb.stats
+
+val l2_stats : 'a t -> Tlb.stats
+
+val average_latency : 'a t -> float

@@ -1,0 +1,64 @@
+type stats = {
+  lookups : int;
+  hits : int;
+  demand_misses : int;
+  prefetches : int;
+  useful_prefetches : int;
+}
+
+let zero =
+  { lookups = 0; hits = 0; demand_misses = 0; prefetches = 0; useful_prefetches = 0 }
+
+type 'a t = {
+  degree : int;
+  translate : int -> 'a option;
+  tlb : ('a * bool ref) Tlb.t;
+      (* payload carries a "was prefetched, not yet used" flag *)
+  mutable stats : stats;
+}
+
+let create ?(degree = 1) ~entries ~translate () =
+  if degree < 0 then invalid_arg "Prefetch.create: negative degree";
+  { degree; translate; tlb = Tlb.create ~entries (); stats = zero }
+
+let prefetch t vpage =
+  for next = vpage + 1 to vpage + t.degree do
+    if not (Tlb.mem t.tlb next) then begin
+      match t.translate next with
+      | Some payload ->
+        ignore (Tlb.insert t.tlb next (payload, ref true));
+        t.stats <- { t.stats with prefetches = t.stats.prefetches + 1 }
+      | None -> ()
+    end
+  done
+
+let lookup t vpage =
+  let s = t.stats in
+  match Tlb.lookup t.tlb vpage with
+  | Some (payload, speculative) ->
+    if !speculative then begin
+      speculative := false;
+      t.stats <-
+        { s with
+          lookups = s.lookups + 1;
+          hits = s.hits + 1;
+          useful_prefetches = s.useful_prefetches + 1 }
+    end
+    else t.stats <- { s with lookups = s.lookups + 1; hits = s.hits + 1 };
+    Some payload
+  | None ->
+    t.stats <- { s with lookups = s.lookups + 1; demand_misses = s.demand_misses + 1 };
+    (match t.translate vpage with
+     | None -> None
+     | Some payload ->
+       ignore (Tlb.insert t.tlb vpage (payload, ref false));
+       prefetch t vpage;
+       Some payload)
+
+let invalidate t vpage = Tlb.invalidate t.tlb vpage
+
+let stats t = t.stats
+
+let accuracy t =
+  if t.stats.prefetches = 0 then 1.0
+  else float_of_int t.stats.useful_prefetches /. float_of_int t.stats.prefetches

@@ -1,0 +1,40 @@
+(** Translation prefetching (TEMPO-style, Bhattacharjee ASPLOS 2017).
+
+    Section 7 cites translation-triggered prefetching as a practical
+    TLB optimization whose benefit shrinks as huge pages grow.  This
+    wrapper adds next-page prefetch to any TLB: servicing a miss for
+    page [v] also installs the translations of [v+1 … v+degree] (when
+    the page table has them), so sequential scans stop missing.  The
+    stats separate {e useful} prefetches (consumed before eviction)
+    from wasted ones — the classic prefetch-pollution measurement. *)
+
+type 'a t
+
+type stats = {
+  lookups : int;
+  hits : int;
+  demand_misses : int;  (** misses the translate oracle had to serve *)
+  prefetches : int;  (** entries installed speculatively *)
+  useful_prefetches : int;  (** prefetched entries later hit *)
+}
+
+val create :
+  ?degree:int ->
+  entries:int ->
+  translate:(int -> 'a option) ->
+  unit ->
+  'a t
+(** [degree] (default 1) pages are prefetched past each demand miss.
+    [translate] is the page-table oracle; pages it maps [None] are
+    skipped. *)
+
+val lookup : 'a t -> int -> 'a option
+(** Returns the translation, loading (and prefetching) through the
+    oracle on a miss; [None] only if the oracle has no mapping. *)
+
+val invalidate : 'a t -> int -> bool
+
+val stats : 'a t -> stats
+
+val accuracy : 'a t -> float
+(** [useful_prefetches / prefetches]; 1.0 when no prefetch was made. *)

@@ -1,0 +1,125 @@
+open Atp_util
+
+(* Each set is a tiny array scanned linearly (hardware ways are <= 16),
+   kept in LRU order: index 0 is MRU, the last occupied index is LRU. *)
+
+type 'a entry = { key : int; payload : 'a }
+
+type 'a t = {
+  nsets : int;
+  nways : int;
+  seed : int;
+  table : 'a entry option array;  (* set-major: set * nways + way *)
+  occupancy : int array;
+  mutable stats : Tlb.stats;
+}
+
+let empty_stats : Tlb.stats =
+  { lookups = 0; hits = 0; misses = 0; insertions = 0; evictions = 0 }
+
+let create ?(seed = 0x7151) ~sets ~ways () =
+  if sets < 1 || ways < 1 then invalid_arg "Set_assoc.create: bad geometry";
+  {
+    nsets = sets;
+    nways = ways;
+    seed;
+    table = Array.make (sets * ways) None;
+    occupancy = Array.make sets 0;
+    stats = empty_stats;
+  }
+
+let sets t = t.nsets
+
+let ways t = t.nways
+
+let capacity t = t.nsets * t.nways
+
+let size t = Array.fold_left ( + ) 0 t.occupancy
+
+let set_of t key = Hashing.hash_in ~seed:t.seed t.nsets key
+
+let find_way t set key =
+  let base = set * t.nways in
+  let rec scan way =
+    if way >= t.occupancy.(set) then None
+    else
+      match t.table.(base + way) with
+      | Some e when e.key = key -> Some way
+      | _ -> scan (way + 1)
+  in
+  scan 0
+
+(* Move the entry at [way] to the MRU position (index 0). *)
+let promote t set way =
+  let base = set * t.nways in
+  let entry = t.table.(base + way) in
+  for i = way downto 1 do
+    t.table.(base + i) <- t.table.(base + i - 1)
+  done;
+  t.table.(base) <- entry
+
+let lookup t key =
+  let set = set_of t key in
+  let s = t.stats in
+  match find_way t set key with
+  | Some way ->
+    promote t set way;
+    t.stats <- { s with lookups = s.lookups + 1; hits = s.hits + 1 };
+    (match t.table.(set * t.nways) with
+     | Some e -> Some e.payload
+     | None -> assert false)
+  | None ->
+    t.stats <- { s with lookups = s.lookups + 1; misses = s.misses + 1 };
+    None
+
+let insert t key payload =
+  let set = set_of t key in
+  let base = set * t.nways in
+  let s = t.stats in
+  match find_way t set key with
+  | Some way ->
+    t.table.(base + way) <- Some { key; payload };
+    promote t set way;
+    t.stats <- { s with insertions = s.insertions + 1 };
+    None
+  | None ->
+    let occ = t.occupancy.(set) in
+    let evicted =
+      if occ = t.nways then begin
+        match t.table.(base + t.nways - 1) with
+        | Some e -> Some (e.key, e.payload)
+        | None -> assert false
+      end
+      else begin
+        t.occupancy.(set) <- occ + 1;
+        None
+      end
+    in
+    (* Shift right and install at MRU. *)
+    for i = t.occupancy.(set) - 1 downto 1 do
+      t.table.(base + i) <- t.table.(base + i - 1)
+    done;
+    t.table.(base) <- Some { key; payload };
+    t.stats <-
+      { s with
+        insertions = s.insertions + 1;
+        evictions = (s.evictions + if evicted = None then 0 else 1) };
+    evicted
+
+let invalidate t key =
+  let set = set_of t key in
+  let base = set * t.nways in
+  match find_way t set key with
+  | None -> false
+  | Some way ->
+    let occ = t.occupancy.(set) in
+    for i = way to occ - 2 do
+      t.table.(base + i) <- t.table.(base + i + 1)
+    done;
+    t.table.(base + occ - 1) <- None;
+    t.occupancy.(set) <- occ - 1;
+    true
+
+let stats t = t.stats
+
+let reset_stats t = t.stats <- empty_stats

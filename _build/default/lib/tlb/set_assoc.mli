@@ -1,0 +1,30 @@
+(** A set-associative TLB, as built in hardware: the key hashes to one
+    of [sets] sets, each holding [ways] entries managed by true LRU.
+    The paper's experiments model the TLB as fully associative; this
+    variant exists to measure how much set conflicts change the story
+    (an ablation in the benchmark suite). *)
+
+type 'a t
+
+val create : ?seed:int -> sets:int -> ways:int -> unit -> 'a t
+
+val sets : 'a t -> int
+
+val ways : 'a t -> int
+
+val capacity : 'a t -> int
+(** [sets * ways]. *)
+
+val size : 'a t -> int
+
+val lookup : 'a t -> int -> 'a option
+(** Counted access; hit refreshes LRU order within the set. *)
+
+val insert : 'a t -> int -> 'a -> (int * 'a) option
+(** Evicts the set's LRU entry when the set is full. *)
+
+val invalidate : 'a t -> int -> bool
+
+val stats : 'a t -> Tlb.stats
+
+val reset_stats : 'a t -> unit

@@ -1,0 +1,102 @@
+open Atp_paging
+
+type stats = {
+  lookups : int;
+  hits : int;
+  misses : int;
+  insertions : int;
+  evictions : int;
+}
+
+let empty_stats =
+  { lookups = 0; hits = 0; misses = 0; insertions = 0; evictions = 0 }
+
+type 'a t = {
+  policy : Policy.instance;
+  payloads : (int, 'a) Hashtbl.t;
+  mutable stats : stats;
+}
+
+let create ?policy ?rng ~entries () =
+  if entries < 1 then invalid_arg "Tlb.create: need at least one entry";
+  let policy_module =
+    match policy with Some p -> p | None -> (module Lru : Policy.S)
+  in
+  {
+    policy = Policy.instantiate policy_module ?rng ~capacity:entries ();
+    payloads = Hashtbl.create (2 * entries);
+    stats = empty_stats;
+  }
+
+let entries t = t.policy.Policy.capacity
+
+let size t = t.policy.Policy.size ()
+
+let mem t key = t.policy.Policy.mem key
+
+let peek t key = Hashtbl.find_opt t.payloads key
+
+let lookup t key =
+  let s = t.stats in
+  if t.policy.Policy.mem key then begin
+    (* Count the hit and refresh recency via the policy. *)
+    (match t.policy.Policy.access key with
+     | Policy.Hit -> ()
+     | Policy.Miss _ -> assert false);
+    t.stats <- { s with lookups = s.lookups + 1; hits = s.hits + 1 };
+    Hashtbl.find_opt t.payloads key
+  end
+  else begin
+    t.stats <- { s with lookups = s.lookups + 1; misses = s.misses + 1 };
+    None
+  end
+
+let insert t key payload =
+  let s = t.stats in
+  let evicted =
+    match t.policy.Policy.access key with
+    | Policy.Hit -> None
+    | Policy.Miss { evicted = None } -> None
+    | Policy.Miss { evicted = Some victim } ->
+      let victim_payload = Hashtbl.find t.payloads victim in
+      Hashtbl.remove t.payloads victim;
+      Some (victim, victim_payload)
+  in
+  Hashtbl.replace t.payloads key payload;
+  t.stats <-
+    { s with
+      insertions = s.insertions + 1;
+      evictions = (s.evictions + if evicted = None then 0 else 1) };
+  evicted
+
+let update t key payload =
+  if Hashtbl.mem t.payloads key then begin
+    Hashtbl.replace t.payloads key payload;
+    true
+  end
+  else false
+
+let invalidate t key =
+  if t.policy.Policy.remove key then begin
+    Hashtbl.remove t.payloads key;
+    true
+  end
+  else false
+
+let flush t =
+  List.iter
+    (fun key -> ignore (t.policy.Policy.remove key))
+    (t.policy.Policy.resident ());
+  Hashtbl.reset t.payloads
+
+let stats t = t.stats
+
+let reset_stats t = t.stats <- empty_stats
+
+let iter f t = Hashtbl.iter f t.payloads
+
+let pp_stats ppf s =
+  Format.fprintf ppf "lookups=%a hits=%a misses=%a insertions=%a evictions=%a"
+    Atp_util.Stats.pp_count s.lookups Atp_util.Stats.pp_count s.hits
+    Atp_util.Stats.pp_count s.misses Atp_util.Stats.pp_count s.insertions
+    Atp_util.Stats.pp_count s.evictions

@@ -1,0 +1,1 @@
+lib/util/packed_array.ml: Bytes Char

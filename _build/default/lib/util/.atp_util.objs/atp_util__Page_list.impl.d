@@ -1,0 +1,1 @@
+lib/util/page_list.ml: Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/util/page_list.mli:

@@ -1,0 +1,35 @@
+(** Dense bit vectors.
+
+    Used for residency maps (one bit per page slot) and the presence
+    half of decoupled TLB values. *)
+
+type t
+
+val create : int -> t
+(** [create n] is an all-zero vector of [n] bits. *)
+
+val length : t -> int
+
+val get : t -> int -> bool
+
+val set : t -> int -> unit
+
+val clear : t -> int -> unit
+
+val assign : t -> int -> bool -> unit
+
+val pop_count : t -> int
+(** Number of set bits. *)
+
+val iter_set : (int -> unit) -> t -> unit
+(** Iterate over the indices of set bits, in increasing order. *)
+
+val first_clear : t -> int option
+(** Lowest clear bit, if any. *)
+
+val fill : t -> bool -> unit
+(** Set every bit to the given value. *)
+
+val copy : t -> t
+
+val equal : t -> t -> bool

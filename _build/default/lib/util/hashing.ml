@@ -1,0 +1,31 @@
+(* The mixer is duplicated from Prng rather than exported there to keep
+   Prng's interface about streams only. *)
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let hash ~seed x =
+  let h = mix64 (Int64.add (Int64.of_int x) (Int64.mul (Int64.of_int seed) 0x9E3779B97F4A7C15L)) in
+  Int64.to_int (Int64.shift_right_logical h 2)
+
+let hash_in ~seed n x =
+  if n <= 0 then invalid_arg "Hashing.hash_in: empty range";
+  if n >= 1 lsl 30 then invalid_arg "Hashing.hash_in: range too large";
+  (* Lemire's multiply-shift range reduction, on the top 32 hash bits
+     so the product stays within a 63-bit immediate. *)
+  let h32 = hash ~seed x lsr 30 in
+  (h32 * n) lsr 32
+
+type family = { seeds : int array; range : int }
+
+let family rng ~k ~range =
+  if k <= 0 then invalid_arg "Hashing.family: k must be positive";
+  if range <= 0 then invalid_arg "Hashing.family: empty range";
+  { seeds = Array.init k (fun _ -> Prng.bits rng); range }
+
+let k fam = Array.length fam.seeds
+
+let range fam = fam.range
+
+let apply fam i x = hash_in ~seed:fam.seeds.(i) fam.range x

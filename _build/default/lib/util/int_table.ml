@@ -1,0 +1,137 @@
+type t = {
+  mutable keys : int array;    (* empty = -1 *)
+  mutable values : int array;
+  mutable size : int;
+  mutable mask : int;          (* capacity - 1; capacity is a power of two *)
+}
+
+let empty_key = -1
+
+let round_up_pow2 n =
+  let rec go acc = if acc >= n then acc else go (acc * 2) in
+  go 8
+
+let create ?(initial_capacity = 16) () =
+  let cap = round_up_pow2 initial_capacity in
+  { keys = Array.make cap empty_key;
+    values = Array.make cap 0;
+    size = 0;
+    mask = cap - 1 }
+
+let length t = t.size
+
+(* Fibonacci hashing spreads consecutive page numbers, which are the
+   common key pattern, across the table. *)
+let slot_of t key = (key * 0x2545F4914F6CDD1D) land max_int land t.mask
+
+let check_key key =
+  if key < 0 then invalid_arg "Int_table: keys must be non-negative"
+
+let rec probe t key i =
+  let k = t.keys.(i) in
+  if k = empty_key then (i, false)
+  else if k = key then (i, true)
+  else probe t key ((i + 1) land t.mask)
+
+let grow t =
+  let old_keys = t.keys and old_values = t.values in
+  let cap = (t.mask + 1) * 2 in
+  t.keys <- Array.make cap empty_key;
+  t.values <- Array.make cap 0;
+  t.mask <- cap - 1;
+  t.size <- 0;
+  Array.iteri
+    (fun i k ->
+      if k <> empty_key then begin
+        let j, _ = probe t k (slot_of t k) in
+        t.keys.(j) <- k;
+        t.values.(j) <- old_values.(i);
+        t.size <- t.size + 1
+      end)
+    old_keys
+
+let maybe_grow t =
+  (* Keep load below 0.75. *)
+  if 4 * (t.size + 1) > 3 * (t.mask + 1) then grow t
+
+let mem t key =
+  check_key key;
+  let _, found = probe t key (slot_of t key) in
+  found
+
+let find t key =
+  check_key key;
+  let i, found = probe t key (slot_of t key) in
+  if found then Some t.values.(i) else None
+
+let find_exn t key =
+  check_key key;
+  let i, found = probe t key (slot_of t key) in
+  if found then t.values.(i) else raise Not_found
+
+let set t key value =
+  check_key key;
+  maybe_grow t;
+  let i, found = probe t key (slot_of t key) in
+  t.keys.(i) <- key;
+  t.values.(i) <- value;
+  if not found then t.size <- t.size + 1
+
+let add_if_absent t key value =
+  check_key key;
+  maybe_grow t;
+  let i, found = probe t key (slot_of t key) in
+  if found then false
+  else begin
+    t.keys.(i) <- key;
+    t.values.(i) <- value;
+    t.size <- t.size + 1;
+    true
+  end
+
+(* Backward-shift deletion: re-home the cluster that follows the freed
+   slot so probe chains never break. *)
+let remove t key =
+  check_key key;
+  let i, found = probe t key (slot_of t key) in
+  if not found then false
+  else begin
+    t.keys.(i) <- empty_key;
+    t.size <- t.size - 1;
+    let rec shift gap j =
+      let k = t.keys.(j) in
+      if k = empty_key then ()
+      else begin
+        let home = slot_of t k in
+        (* Can k legally live at [gap]?  Yes iff home is cyclically
+           outside (gap, j]. *)
+        let between lo x hi =
+          if lo <= hi then lo < x && x <= hi
+          else lo < x || x <= hi
+        in
+        if between gap home j then shift gap ((j + 1) land t.mask)
+        else begin
+          t.keys.(gap) <- k;
+          t.values.(gap) <- t.values.(j);
+          t.keys.(j) <- empty_key;
+          shift j ((j + 1) land t.mask)
+        end
+      end
+    in
+    shift i ((i + 1) land t.mask);
+    true
+  end
+
+let iter f t =
+  Array.iteri (fun i k -> if k <> empty_key then f k t.values.(i)) t.keys
+
+let fold f t init =
+  let acc = ref init in
+  iter (fun k v -> acc := f k v !acc) t;
+  !acc
+
+let clear t =
+  Array.fill t.keys 0 (Array.length t.keys) empty_key;
+  t.size <- 0
+
+let keys t = fold (fun k _ acc -> k :: acc) t []

@@ -1,0 +1,39 @@
+(** An open-addressing hash table from non-negative ints to ints.
+
+    Page tables and residency indexes are hot paths of the simulator;
+    this table avoids the boxing and polymorphic hashing of [Hashtbl].
+    Keys must be non-negative (virtual/physical page numbers always
+    are).  Linear probing with backward-shift deletion, so there are
+    no tombstones and load stays honest under churn. *)
+
+type t
+
+val create : ?initial_capacity:int -> unit -> t
+
+val length : t -> int
+
+val mem : t -> int -> bool
+
+val find : t -> int -> int option
+
+val find_exn : t -> int -> int
+(** Raises [Not_found]. *)
+
+val set : t -> int -> int -> unit
+(** Insert or overwrite. *)
+
+val add_if_absent : t -> int -> int -> bool
+(** Returns [true] if inserted, [false] if the key was present
+    (in which case the value is unchanged). *)
+
+val remove : t -> int -> bool
+(** Returns whether the key was present. *)
+
+val iter : (int -> int -> unit) -> t -> unit
+
+val fold : (int -> int -> 'a -> 'a) -> t -> 'a -> 'a
+
+val clear : t -> unit
+
+val keys : t -> int list
+(** Unordered. *)

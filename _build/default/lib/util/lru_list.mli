@@ -1,0 +1,49 @@
+(** An array-backed intrusive doubly-linked list over node ids
+    [0 .. capacity-1].
+
+    This is the workhorse of the O(1) LRU and CLOCK replacement
+    policies: node ids are cache-slot indices, [move_to_front] is a
+    touch, and [back] is the eviction victim.  No allocation after
+    [create]. *)
+
+type t
+
+val create : int -> t
+(** [create capacity] has all nodes detached. *)
+
+val capacity : t -> int
+
+val mem : t -> int -> bool
+(** Is the node currently linked? *)
+
+val length : t -> int
+
+val is_empty : t -> bool
+
+val push_front : t -> int -> unit
+(** Raises [Invalid_argument] if already linked. *)
+
+val push_back : t -> int -> unit
+(** Raises [Invalid_argument] if already linked. *)
+
+val remove : t -> int -> unit
+(** Raises [Invalid_argument] if not linked. *)
+
+val move_to_front : t -> int -> unit
+(** Raises [Invalid_argument] if not linked. *)
+
+val move_to_back : t -> int -> unit
+
+val front : t -> int option
+(** Most recently used. *)
+
+val back : t -> int option
+(** Least recently used. *)
+
+val pop_back : t -> int option
+(** Remove and return the back node. *)
+
+val iter_front_to_back : (int -> unit) -> t -> unit
+
+val to_list : t -> int list
+(** Front-to-back order. *)

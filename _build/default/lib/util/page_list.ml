@@ -1,0 +1,91 @@
+type node = {
+  page : int;
+  mutable prev : node option;
+  mutable next : node option;
+}
+
+type t = {
+  mutable first : node option;
+  mutable last : node option;
+  index : (int, node) Hashtbl.t;
+  mutable length : int;
+}
+
+let create () = { first = None; last = None; index = Hashtbl.create 64; length = 0 }
+
+let length t = t.length
+
+let is_empty t = t.length = 0
+
+let mem t page = Hashtbl.mem t.index page
+
+let push_front t page =
+  if mem t page then invalid_arg "Page_list.push_front: duplicate page";
+  let node = { page; prev = None; next = t.first } in
+  (match t.first with
+   | Some old -> old.prev <- Some node
+   | None -> t.last <- Some node);
+  t.first <- Some node;
+  Hashtbl.replace t.index page node;
+  t.length <- t.length + 1
+
+let push_back t page =
+  if mem t page then invalid_arg "Page_list.push_back: duplicate page";
+  let node = { page; prev = t.last; next = None } in
+  (match t.last with
+   | Some old -> old.next <- Some node
+   | None -> t.first <- Some node);
+  t.last <- Some node;
+  Hashtbl.replace t.index page node;
+  t.length <- t.length + 1
+
+let unlink t node =
+  (match node.prev with
+   | Some p -> p.next <- node.next
+   | None -> t.first <- node.next);
+  (match node.next with
+   | Some n -> n.prev <- node.prev
+   | None -> t.last <- node.prev);
+  node.prev <- None;
+  node.next <- None;
+  Hashtbl.remove t.index node.page;
+  t.length <- t.length - 1
+
+let remove t page =
+  match Hashtbl.find_opt t.index page with
+  | None -> false
+  | Some node ->
+    unlink t node;
+    true
+
+let move_to_front t page =
+  match Hashtbl.find_opt t.index page with
+  | None -> invalid_arg "Page_list.move_to_front: absent page"
+  | Some node ->
+    unlink t node;
+    push_front t page
+
+let front t = Option.map (fun n -> n.page) t.first
+
+let back t = Option.map (fun n -> n.page) t.last
+
+let pop_front t =
+  match t.first with
+  | None -> None
+  | Some node ->
+    unlink t node;
+    Some node.page
+
+let pop_back t =
+  match t.last with
+  | None -> None
+  | Some node ->
+    unlink t node;
+    Some node.page
+
+let to_list t =
+  let rec go acc = function
+    | None -> List.rev acc
+    | Some node -> go (node.page :: acc) node.next
+  in
+  go [] t.first

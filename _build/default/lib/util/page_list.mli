@@ -1,0 +1,38 @@
+(** A doubly-linked list of page ids with an O(1) membership index.
+
+    Unlike {!Lru_list}, which links a fixed set of slot ids, this list
+    holds arbitrary page numbers; it backs the ghost lists of ARC and
+    2Q, where entries are addresses of pages that are {e not}
+    resident. *)
+
+type t
+
+val create : unit -> t
+
+val length : t -> int
+
+val is_empty : t -> bool
+
+val mem : t -> int -> bool
+
+val push_front : t -> int -> unit
+(** Raises [Invalid_argument] if the page is already in the list. *)
+
+val push_back : t -> int -> unit
+
+val remove : t -> int -> bool
+(** Returns whether the page was present. *)
+
+val move_to_front : t -> int -> unit
+(** Raises [Invalid_argument] if absent. *)
+
+val front : t -> int option
+
+val back : t -> int option
+
+val pop_front : t -> int option
+
+val pop_back : t -> int option
+
+val to_list : t -> int list
+(** Front-to-back. *)

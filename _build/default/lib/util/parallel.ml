@@ -1,0 +1,49 @@
+let recommended_domains () = max 1 (Domain.recommended_domain_count ())
+
+let map_array ?domains f input =
+  let n = Array.length input in
+  if n = 0 then [||]
+  else begin
+    let wanted =
+      match domains with
+      | Some d ->
+        if d < 1 then invalid_arg "Parallel.map: need at least one domain";
+        d
+      | None -> recommended_domains ()
+    in
+    let workers = min wanted n in
+    if workers = 1 then Array.map f input
+    else begin
+      let results = Array.make n None in
+      let next = Atomic.make 0 in
+      let failure = Atomic.make None in
+      let worker () =
+        let rec loop () =
+          let i = Atomic.fetch_and_add next 1 in
+          if i < n && Atomic.get failure = None then begin
+            (match f input.(i) with
+             | result -> results.(i) <- Some result
+             | exception e ->
+               (* Keep the first failure; losing later ones is fine. *)
+               ignore (Atomic.compare_and_set failure None (Some e)));
+            loop ()
+          end
+        in
+        loop ()
+      in
+      let spawned = Array.init (workers - 1) (fun _ -> Domain.spawn worker) in
+      worker ();
+      Array.iter Domain.join spawned;
+      (match Atomic.get failure with
+       | Some e -> raise e
+       | None -> ());
+      Array.map
+        (function
+          | Some r -> r
+          | None -> assert false)
+        results
+    end
+  end
+
+let map ?domains f xs =
+  Array.to_list (map_array ?domains f (Array.of_list xs))

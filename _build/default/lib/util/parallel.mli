@@ -1,0 +1,18 @@
+(** Deterministic parallel map over OCaml 5 domains.
+
+    The benchmark harness evaluates many independent simulator
+    configurations (one per huge-page size); each closure owns its
+    state and reads only immutable inputs, so they parallelize
+    trivially.  Results keep their input order, and the first
+    exception raised by any task is re-raised in the caller. *)
+
+val recommended_domains : unit -> int
+(** [Domain.recommended_domain_count ()], at least 1. *)
+
+val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~domains f xs] evaluates [f] on every element using up to
+    [domains] domains (default: the recommended count, capped at the
+    number of elements).  [f] must not share mutable state across
+    calls.  With [domains = 1] this is [List.map]. *)
+
+val map_array : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array

@@ -1,0 +1,38 @@
+(** Random samplers over page indices.
+
+    These back the synthetic workloads of the paper's Section 6: the
+    bimodal stress test samples uniformly from two nested regions, and
+    the graph-walk workload draws edge destinations from a bounded
+    Pareto distribution with shape [alpha = 0.01]. *)
+
+type t = Prng.t -> int
+(** A sampler maps generator state to an index. *)
+
+val uniform : n:int -> t
+(** Uniform on [0, n). *)
+
+val bounded_pareto : alpha:float -> n:int -> t
+(** Bounded Pareto on {1, …, n} mapped to [0, n): probability of rank
+    [i] proportional to [(i+1)^-(alpha+1)], sampled by inverse
+    transform on the continuous bounded Pareto and floored.  This is
+    the paper's edge-destination distribution. *)
+
+val zipf : s:float -> n:int -> t
+(** Zipf with exponent [s] on [0, n): P(i) proportional to
+    [(i+1)^-s].  Uses rejection-inversion (Hörmann–Derflinger), which
+    is exact and O(1) per sample for any [n]. *)
+
+type discrete
+(** An arbitrary finite distribution, sampled in O(1) via Walker's
+    alias method. *)
+
+val discrete : float array -> discrete
+(** Build the alias table from non-negative weights (need not sum to
+    one; must not all be zero). *)
+
+val sample_discrete : discrete -> Prng.t -> int
+
+val mixture : (float * t) array -> t
+(** [mixture [| (p1, s1); …; (pk, sk) |]] picks branch [i] with
+    probability proportional to [pi] and delegates.  The bimodal
+    workload is [mixture [| (0.9999, hot); (0.0001, cold) |]]. *)

@@ -1,0 +1,105 @@
+module Summary = struct
+  type t = {
+    mutable count : int;
+    mutable mean : float;
+    mutable m2 : float;
+    mutable min : float;
+    mutable max : float;
+  }
+
+  let create () =
+    { count = 0; mean = 0.0; m2 = 0.0; min = infinity; max = neg_infinity }
+
+  let add t x =
+    t.count <- t.count + 1;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. delta /. float_of_int t.count;
+    t.m2 <- t.m2 +. delta *. (x -. t.mean);
+    if x < t.min then t.min <- x;
+    if x > t.max then t.max <- x
+
+  let count t = t.count
+
+  let mean t = if t.count = 0 then 0.0 else t.mean
+
+  let variance t = if t.count < 2 then 0.0 else t.m2 /. float_of_int (t.count - 1)
+
+  let stddev t = sqrt (variance t)
+
+  let min t = t.min
+
+  let max t = t.max
+
+  let pp ppf t =
+    Format.fprintf ppf "n=%d mean=%.4g sd=%.4g min=%.4g max=%.4g"
+      t.count (mean t) (stddev t) t.min t.max
+end
+
+module Log_histogram = struct
+  type t = { buckets : int array; mutable count : int }
+
+  let nbuckets = 63
+
+  let create () = { buckets = Array.make nbuckets 0; count = 0 }
+
+  let bucket_of v =
+    if v < 0 then invalid_arg "Log_histogram.add: negative value";
+    if v <= 1 then 0
+    else
+      let rec log2 acc v = if v <= 1 then acc else log2 (acc + 1) (v lsr 1) in
+      log2 0 v
+
+  let add t v =
+    let b = bucket_of v in
+    t.buckets.(b) <- t.buckets.(b) + 1;
+    t.count <- t.count + 1
+
+  let count t = t.count
+
+  let bucket t i =
+    if i < 0 || i >= nbuckets then invalid_arg "Log_histogram.bucket: bad index";
+    t.buckets.(i)
+
+  let percentile t q =
+    if t.count = 0 then invalid_arg "Log_histogram.percentile: empty";
+    if q < 0.0 || q > 1.0 then invalid_arg "Log_histogram.percentile: rank out of range";
+    let target = int_of_float (ceil (q *. float_of_int t.count)) in
+    let target = if target < 1 then 1 else target in
+    let rec scan i seen =
+      let seen = seen + t.buckets.(i) in
+      if seen >= target || i = nbuckets - 1 then (1 lsl (i + 1)) - 1
+      else scan (i + 1) seen
+    in
+    scan 0 0
+
+  let pp ppf t =
+    Format.fprintf ppf "@[<v>";
+    for i = 0 to nbuckets - 1 do
+      if t.buckets.(i) > 0 then
+        Format.fprintf ppf "[%d, %d): %d@," (if i = 0 then 0 else 1 lsl i)
+          (1 lsl (i + 1)) t.buckets.(i)
+    done;
+    Format.fprintf ppf "@]"
+end
+
+let pp_count ppf n =
+  let s = string_of_int (abs n) in
+  let len = String.length s in
+  let buf = Buffer.create (len + len / 3 + 1) in
+  if n < 0 then Buffer.add_char buf '-';
+  String.iteri
+    (fun i c ->
+      if i > 0 && (len - i) mod 3 = 0 then Buffer.add_char buf '_';
+      Buffer.add_char buf c)
+    s;
+  Format.pp_print_string ppf (Buffer.contents buf)
+
+let pp_si ppf v =
+  let abs_v = abs_float v in
+  let value, suffix =
+    if abs_v >= 1e9 then (v /. 1e9, "G")
+    else if abs_v >= 1e6 then (v /. 1e6, "M")
+    else if abs_v >= 1e3 then (v /. 1e3, "k")
+    else (v, "")
+  in
+  Format.fprintf ppf "%.3g%s" value suffix

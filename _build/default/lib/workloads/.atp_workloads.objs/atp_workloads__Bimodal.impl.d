@@ -1,0 +1,1 @@
+lib/workloads/bimodal.ml: Atp_util Printf Prng Workload

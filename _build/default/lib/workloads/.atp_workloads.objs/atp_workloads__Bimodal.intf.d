@@ -1,0 +1,1 @@
+lib/workloads/bimodal.mli: Atp_util Workload

@@ -1,0 +1,1 @@
+lib/workloads/graph500.ml: Array Atp_util Bitvec Kronecker Printf Prng Queue Workload

@@ -1,0 +1,1 @@
+lib/workloads/graph500.mli: Atp_util Kronecker Workload

@@ -1,0 +1,1 @@
+lib/workloads/graph_walk.ml: Atp_util Float Hashing Printf Prng Workload

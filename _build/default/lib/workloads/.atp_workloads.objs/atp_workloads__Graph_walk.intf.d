@@ -1,0 +1,1 @@
+lib/workloads/graph_walk.mli: Atp_util Workload

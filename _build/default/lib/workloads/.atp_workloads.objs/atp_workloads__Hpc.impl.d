@@ -1,0 +1,1 @@
+lib/workloads/hpc.ml: Array Atp_util Int_table Printf Prng Queue Sampler Workload

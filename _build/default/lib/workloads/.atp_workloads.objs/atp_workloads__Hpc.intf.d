@@ -1,0 +1,1 @@
+lib/workloads/hpc.mli: Atp_util Workload

@@ -1,0 +1,1 @@
+lib/workloads/kronecker.ml: Array Atp_util Prng

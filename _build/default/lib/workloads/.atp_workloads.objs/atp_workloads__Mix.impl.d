@@ -1,0 +1,1 @@
+lib/workloads/mix.ml: Array Atp_util List Printf Sampler String Workload

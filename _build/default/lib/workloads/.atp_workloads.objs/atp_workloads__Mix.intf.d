@@ -1,0 +1,1 @@
+lib/workloads/mix.mli: Atp_util Workload

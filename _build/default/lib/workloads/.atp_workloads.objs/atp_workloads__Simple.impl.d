@@ -1,0 +1,1 @@
+lib/workloads/simple.ml: Atp_util Printf Prng Sampler Workload

@@ -1,0 +1,1 @@
+lib/workloads/simple.mli: Atp_util Workload

@@ -1,0 +1,1 @@
+lib/workloads/trace.ml: Array Atp_util Format Fun Int_table List Printf Stats String Workload

@@ -1,0 +1,22 @@
+open Atp_util
+
+let create ?(hot_fraction = 0.9999) ~hot_pages ~virtual_pages rng =
+  if hot_pages < 1 || hot_pages > virtual_pages then
+    invalid_arg "Bimodal.create: hot region does not fit";
+  if hot_fraction < 0.0 || hot_fraction > 1.0 then
+    invalid_arg "Bimodal.create: hot_fraction out of range";
+  let hot_base = Prng.int rng (virtual_pages - hot_pages + 1) in
+  let next () =
+    if Prng.float rng < hot_fraction then hot_base + Prng.int rng hot_pages
+    else Prng.int rng virtual_pages
+  in
+  {
+    Workload.name = "bimodal";
+    virtual_pages;
+    description =
+      Printf.sprintf
+        "%.2f%% of accesses uniform in a %d-page hot region at %d, rest \
+         uniform over %d pages"
+        (100.0 *. hot_fraction) hot_pages hot_base virtual_pages;
+    next;
+  }

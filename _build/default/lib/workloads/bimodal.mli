@@ -1,0 +1,16 @@
+(** The bimodal stress test of Figure 1a: almost all accesses fall
+    uniformly in a small hot region; the rest fall uniformly over the
+    whole virtual address space.  Designed as a worst case for huge
+    pages — small pages miss the TLB on the hot region, large pages
+    amplify IO on the cold accesses. *)
+
+val create :
+  ?hot_fraction:float ->
+  hot_pages:int ->
+  virtual_pages:int ->
+  Atp_util.Prng.t ->
+  Workload.t
+(** [hot_fraction] defaults to 0.9999 (99.99%, the paper's split).  The
+    hot region is placed at a random page-aligned offset drawn from the
+    generator.  Raises [Invalid_argument] if the hot region does not
+    fit. *)

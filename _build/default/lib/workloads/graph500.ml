@@ -1,0 +1,102 @@
+open Atp_util
+
+type layout = {
+  xadj_base : int;
+  adj_base : int;
+  visited_base : int;
+  queue_base : int;
+  parent_base : int;
+  total_pages : int;
+}
+
+let page_bytes = 4096
+
+let pages_for_bytes bytes = (bytes + page_bytes - 1) / page_bytes
+
+let layout_of (csr : Kronecker.csr) =
+  let v = csr.Kronecker.vertices in
+  let e = Array.length csr.Kronecker.adj in
+  let xadj_base = 0 in
+  let adj_base = xadj_base + pages_for_bytes ((v + 1) * 8) in
+  let visited_base = adj_base + pages_for_bytes (e * 8) in
+  let queue_base = visited_base + pages_for_bytes ((v + 7) / 8) in
+  let parent_base = queue_base + pages_for_bytes (v * 8) in
+  let total_pages = parent_base + pages_for_bytes (v * 8) in
+  { xadj_base; adj_base; visited_base; queue_base; parent_base; total_pages }
+
+let create_from (csr : Kronecker.csr) rng =
+  let v = csr.Kronecker.vertices in
+  let layout = layout_of csr in
+  let visited = Bitvec.create v in
+  let queue = Array.make v 0 in
+  let head = ref 0 and tail = ref 0 in
+  (* The emission buffer: pages touched by BFS steps not yet consumed
+     by the workload stream. *)
+  let buffer = Queue.create () in
+  let emit page = Queue.push page buffer in
+  let xadj_page i = layout.xadj_base + (i * 8 / page_bytes) in
+  let adj_page i = layout.adj_base + (i * 8 / page_bytes) in
+  let visited_page node = layout.visited_base + (node lsr 3 / page_bytes) in
+  let queue_page i = layout.queue_base + (i * 8 / page_bytes) in
+  let parent_page node = layout.parent_base + (node * 8 / page_bytes) in
+  let start_new_bfs () =
+    Bitvec.fill visited false;
+    head := 0;
+    tail := 0;
+    let root = Prng.int rng v in
+    Bitvec.set visited root;
+    emit (visited_page root);
+    queue.(!tail) <- root;
+    emit (queue_page !tail);
+    incr tail
+  in
+  (* Process one frontier vertex, emitting every page its expansion
+     touches. *)
+  let step () =
+    if !head = !tail then start_new_bfs ()
+    else begin
+      let u = queue.(!head) in
+      emit (queue_page !head);
+      incr head;
+      let lo = csr.Kronecker.xadj.(u) and hi = csr.Kronecker.xadj.(u + 1) in
+      emit (xadj_page u);
+      emit (xadj_page (u + 1));
+      for idx = lo to hi - 1 do
+        emit (adj_page idx);
+        let w = csr.Kronecker.adj.(idx) in
+        emit (visited_page w);
+        if not (Bitvec.get visited w) then begin
+          Bitvec.set visited w;
+          emit (parent_page w);
+          queue.(!tail) <- w;
+          emit (queue_page !tail);
+          incr tail
+        end
+      done
+    end
+  in
+  let next () =
+    while Queue.is_empty buffer do
+      step ()
+    done;
+    Queue.pop buffer
+  in
+  let workload =
+    {
+      Workload.name = "graph500";
+      virtual_pages = layout.total_pages;
+      description =
+        Printf.sprintf
+          "BFS memory trace over a Kronecker graph: %d vertices, %d stored \
+           edges, footprint %d pages"
+          v
+          (Array.length csr.Kronecker.adj)
+          layout.total_pages;
+      next;
+    }
+  in
+  (workload, layout)
+
+let create ?scale ?edge_factor rng =
+  let csr = Kronecker.generate ?scale ?edge_factor rng in
+  create_from csr rng

@@ -1,0 +1,33 @@
+(** A graph500-style BFS memory trace (Figure 1c's workload,
+    synthesized).
+
+    The paper replays a memory trace recorded from a real graph500 run;
+    we cannot ship that trace, so this module reconstructs the workload
+    from first principles: it builds the benchmark's own Kronecker
+    graph, lays the BFS working state (CSR offsets, adjacency,
+    visited bitmap, frontier queue, parent array) out in a virtual
+    address space, and emits the page of every load and store a
+    textbook top-down BFS performs.  Successive BFS roots are chosen at
+    random and the visited state is reset between traversals, as in the
+    benchmark's 64-root harness. *)
+
+type layout = {
+  xadj_base : int;  (** page of the CSR offsets region *)
+  adj_base : int;
+  visited_base : int;
+  queue_base : int;
+  parent_base : int;
+  total_pages : int;  (** the workload's memory footprint in pages *)
+}
+
+val layout_of : Kronecker.csr -> layout
+
+val create :
+  ?scale:int -> ?edge_factor:int -> Atp_util.Prng.t -> Workload.t * layout
+(** Builds the graph (defaults as in {!Kronecker.generate}) and returns
+    the BFS trace stream plus the address-space layout, so experiments
+    can size RAM just below [total_pages] the way the paper sizes its
+    cache just below the trace footprint. *)
+
+val create_from : Kronecker.csr -> Atp_util.Prng.t -> Workload.t * layout
+(** Same, over an existing graph. *)

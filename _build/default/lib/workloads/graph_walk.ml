@@ -1,0 +1,42 @@
+open Atp_util
+
+let create ?(alpha = 0.01) ?out_degree ~virtual_pages rng =
+  if virtual_pages < 2 then invalid_arg "Graph_walk.create: need >= 2 pages";
+  let out_degree =
+    match out_degree with
+    | Some d ->
+      if d < 1 then invalid_arg "Graph_walk.create: out_degree must be positive";
+      d
+    | None ->
+      max 2 (int_of_float (Float.log2 (float_of_int virtual_pages)))
+  in
+  let edge_seed = Prng.bits rng in
+  let n = virtual_pages in
+  let l = 1.0 and h = float_of_int n in
+  let ratio = (l /. h) ** alpha in
+  (* Bounded-Pareto inverse CDF driven by a deterministic hash of
+     (node, edge), so the graph is fixed across revisits. *)
+  let destination node edge =
+    let u64 = Hashing.hash ~seed:edge_seed ((node * out_degree) + edge) in
+    let u = float_of_int u64 *. 0x1.0p-62 in
+    let x = l /. ((1.0 -. (u *. (1.0 -. ratio))) ** (1.0 /. alpha)) in
+    let i = int_of_float x - 1 in
+    if i < 0 then 0 else if i >= n then n - 1 else i
+  in
+  let current = ref (Prng.int rng n) in
+  let next () =
+    let here = !current in
+    let edge = Prng.int rng out_degree in
+    current := destination here edge;
+    !current
+  in
+  {
+    Workload.name = "graph-walk";
+    virtual_pages;
+    description =
+      Printf.sprintf
+        "random walk, out-degree %d, Pareto(alpha=%.3g) destinations over %d \
+         pages"
+        out_degree alpha n;
+    next;
+  }

@@ -1,0 +1,18 @@
+(** The random graph walk of Figure 1b: each page is a node with a
+    logarithmic number of outgoing edges whose destinations are
+    Pareto-distributed over all pages (shape α = 0.01), modeling a
+    PageRank-style computation.
+
+    The graph is {e functional}: the destination of edge [j] of node
+    [i] is a pure hash of [(i, j)] fed through the Pareto inverse CDF,
+    so the multi-gigabyte adjacency structure never has to be
+    materialized, yet every revisit of a node sees the same edges. *)
+
+val create :
+  ?alpha:float ->
+  ?out_degree:int ->
+  virtual_pages:int ->
+  Atp_util.Prng.t ->
+  Workload.t
+(** [alpha] defaults to 0.01 (the paper's Pareto constant);
+    [out_degree] defaults to [max 2 (log2 virtual_pages)]. *)

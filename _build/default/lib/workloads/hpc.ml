@@ -1,0 +1,145 @@
+open Atp_util
+
+let page_bytes = 4096
+
+let cell_bytes = 8
+
+let cells_per_page = page_bytes / cell_bytes
+
+let gups ~table_pages rng =
+  if table_pages < 1 then invalid_arg "Hpc.gups: empty table";
+  {
+    Workload.name = "gups";
+    virtual_pages = table_pages;
+    description =
+      Printf.sprintf "uniform random updates over %d pages" table_pages;
+    next = (fun () -> Prng.int rng table_pages);
+  }
+
+let stencil ?(iterations = max_int) ~rows ~cols () =
+  ignore iterations;
+  if rows < 3 || cols < 3 then invalid_arg "Hpc.stencil: grid too small";
+  let cell_page r c = ((r * cols) + c) / cells_per_page in
+  let virtual_pages = ((rows * cols) + cells_per_page - 1) / cells_per_page in
+  (* Emission order per cell: N, W, C, E, S. *)
+  let row = ref 1 and col = ref 1 and phase = ref 0 in
+  let advance () =
+    incr col;
+    if !col = cols - 1 then begin
+      col := 1;
+      incr row;
+      if !row = rows - 1 then row := 1
+    end
+  in
+  let next () =
+    let r = !row and c = !col in
+    let page =
+      match !phase with
+      | 0 -> cell_page (r - 1) c
+      | 1 -> cell_page r (c - 1)
+      | 2 -> cell_page r c
+      | 3 -> cell_page r (c + 1)
+      | _ -> cell_page (r + 1) c
+    in
+    phase := !phase + 1;
+    if !phase = 5 then begin
+      phase := 0;
+      advance ()
+    end;
+    page
+  in
+  {
+    Workload.name = "stencil";
+    virtual_pages;
+    description =
+      Printf.sprintf "5-point stencil sweep over a %dx%d grid (%d pages)" rows
+        cols virtual_pages;
+    next;
+  }
+
+let multistream ~streams ~virtual_pages () =
+  if streams < 1 then invalid_arg "Hpc.multistream: need a stream";
+  if virtual_pages < streams then invalid_arg "Hpc.multistream: space too small";
+  let partition = virtual_pages / streams in
+  let cursors = Array.make streams 0 in
+  let turn = ref 0 in
+  let next () =
+    let s = !turn in
+    turn := (s + 1) mod streams;
+    let offset = cursors.(s) in
+    cursors.(s) <- (offset + 1) mod partition;
+    (s * partition) + offset
+  in
+  {
+    Workload.name = "multistream";
+    virtual_pages;
+    description =
+      Printf.sprintf "%d interleaved sequential streams over %d pages" streams
+        virtual_pages;
+    next;
+  }
+
+let embedding_lookup ?(batch = 16) ?(vector_pages = 2) ~rows rng =
+  if rows < 1 then invalid_arg "Hpc.embedding_lookup: no rows";
+  if batch < 1 then invalid_arg "Hpc.embedding_lookup: bad batch";
+  if vector_pages < 1 then invalid_arg "Hpc.embedding_lookup: bad vector size";
+  let pick = Sampler.zipf ~s:1.05 ~n:rows in
+  let virtual_pages = rows * vector_pages in
+  (* Stream: for each batch, the pages of each selected row's vector in
+     order. *)
+  let pending = Queue.create () in
+  let refill () =
+    for _ = 1 to batch do
+      let row = pick rng in
+      for off = 0 to vector_pages - 1 do
+        Queue.push ((row * vector_pages) + off) pending
+      done
+    done
+  in
+  let next () =
+    if Queue.is_empty pending then refill ();
+    Queue.pop pending
+  in
+  {
+    Workload.name = "embedding";
+    virtual_pages;
+    description =
+      Printf.sprintf
+        "embedding gathers: batches of %d Zipf rows x %d pages over %d rows"
+        batch vector_pages rows;
+    next;
+  }
+
+let pointer_chase ?working_set ~virtual_pages rng =
+  if virtual_pages < 2 then invalid_arg "Hpc.pointer_chase: space too small";
+  let working_set =
+    match working_set with
+    | None -> virtual_pages
+    | Some w ->
+      if w < 2 || w > virtual_pages then
+        invalid_arg "Hpc.pointer_chase: bad working set";
+      w
+  in
+  (* A uniformly random cyclic permutation over [working_set] distinct
+     pages scattered across the space (Sattolo's algorithm gives a
+     single cycle). *)
+  let nodes = Array.init virtual_pages (fun i -> i) in
+  Prng.shuffle rng nodes;
+  let members = Array.sub nodes 0 working_set in
+  let succ = Int_table.create () in
+  for i = 0 to working_set - 1 do
+    Int_table.set succ members.(i) members.((i + 1) mod working_set)
+  done;
+  let current = ref members.(0) in
+  let next () =
+    current := Int_table.find_exn succ !current;
+    !current
+  in
+  {
+    Workload.name = "pointer-chase";
+    virtual_pages;
+    description =
+      Printf.sprintf "random cyclic pointer chase over %d of %d pages"
+        working_set virtual_pages;
+    next;
+  }

@@ -1,0 +1,45 @@
+(** HPC reference patterns beyond the paper's three workloads.
+
+    The introduction motivates the problem with machine learning and
+    graph analytics; these kernels cover the rest of the classic HPC
+    spectrum, from the TLB's best case (dense stencils) to its worst
+    (GUPS), so the benchmark suite can show both sides of the
+    huge-page tradeoff. *)
+
+val gups : table_pages:int -> Atp_util.Prng.t -> Workload.t
+(** Giga-updates-per-second: uniformly random read-modify-writes over
+    a large table — zero locality, the canonical TLB killer. *)
+
+val stencil :
+  ?iterations:int -> rows:int -> cols:int -> unit -> Workload.t
+(** A 5-point Jacobi sweep over a row-major 2-D grid of 8-byte cells:
+    each cell touches the pages of its N/W/center/E/S neighbors in
+    order.  Dense, predictable, huge-page friendly.  [iterations]
+    bounds nothing — the sweep repeats forever; it only sizes the
+    description. *)
+
+val multistream :
+  streams:int -> virtual_pages:int -> unit -> Workload.t
+(** [streams] interleaved sequential scans over disjoint partitions of
+    the space — a merge phase or a multi-threaded copy.  Sequential
+    per stream, so TLB-friendly, but the working set is the sum of all
+    stream fronts. *)
+
+val embedding_lookup :
+  ?batch:int ->
+  ?vector_pages:int ->
+  rows:int ->
+  Atp_util.Prng.t ->
+  Workload.t
+(** A recommender-model embedding gather (the paper's machine-learning
+    motivation): each step draws [batch] (default 16) Zipf-popular
+    rows and reads each row's [vector_pages] (default 2) consecutive
+    pages.  Hot rows give temporal reuse; the row table itself is far
+    too large for the TLB. *)
+
+val pointer_chase :
+  ?working_set:int -> virtual_pages:int -> Atp_util.Prng.t -> Workload.t
+(** A random cyclic permutation walked one hop per access (linked-list
+    traversal): every access is a dependent random page — no spatial
+    locality, perfect temporal recurrence at the cycle length.
+    [working_set] defaults to [virtual_pages]. *)

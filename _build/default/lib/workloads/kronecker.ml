@@ -1,0 +1,74 @@
+open Atp_util
+
+type csr = {
+  vertices : int;
+  xadj : int array;
+  adj : int array;
+}
+
+(* graph500 quadrant probabilities. *)
+let prob_a = 0.57
+
+let prob_b = 0.19
+
+let prob_c = 0.19
+
+let rmat_edge rng ~scale =
+  let u = ref 0 and v = ref 0 in
+  for _ = 1 to scale do
+    let r = Prng.float rng in
+    let ubit, vbit =
+      if r < prob_a then (0, 0)
+      else if r < prob_a +. prob_b then (0, 1)
+      else if r < prob_a +. prob_b +. prob_c then (1, 0)
+      else (1, 1)
+    in
+    u := (!u lsl 1) lor ubit;
+    v := (!v lsl 1) lor vbit
+  done;
+  (!u, !v)
+
+let generate ?(scale = 16) ?(edge_factor = 16) rng =
+  if scale < 1 || scale > 30 then invalid_arg "Kronecker.generate: bad scale";
+  if edge_factor < 1 then invalid_arg "Kronecker.generate: bad edge_factor";
+  let vertices = 1 lsl scale in
+  let edges = edge_factor * vertices in
+  let src = Array.make edges 0 and dst = Array.make edges 0 in
+  for i = 0 to edges - 1 do
+    let u, v = rmat_edge rng ~scale in
+    src.(i) <- u;
+    dst.(i) <- v
+  done;
+  (* The spec permutes vertex labels so that locality does not come
+     from label structure. *)
+  let perm = Array.init vertices (fun i -> i) in
+  Prng.shuffle rng perm;
+  (* Symmetrize: each undirected edge appears in both directions;
+     self-loops contribute once per direction like any edge. *)
+  let stored = 2 * edges in
+  let degree = Array.make vertices 0 in
+  for i = 0 to edges - 1 do
+    src.(i) <- perm.(src.(i));
+    dst.(i) <- perm.(dst.(i));
+    degree.(src.(i)) <- degree.(src.(i)) + 1;
+    degree.(dst.(i)) <- degree.(dst.(i)) + 1
+  done;
+  let xadj = Array.make (vertices + 1) 0 in
+  for v = 0 to vertices - 1 do
+    xadj.(v + 1) <- xadj.(v) + degree.(v)
+  done;
+  let adj = Array.make stored 0 in
+  let cursor = Array.copy xadj in
+  for i = 0 to edges - 1 do
+    let u = src.(i) and v = dst.(i) in
+    adj.(cursor.(u)) <- v;
+    cursor.(u) <- cursor.(u) + 1;
+    adj.(cursor.(v)) <- u;
+    cursor.(v) <- cursor.(v) + 1
+  done;
+  { vertices; xadj; adj }
+
+let degree csr v = csr.xadj.(v + 1) - csr.xadj.(v)
+
+let out_neighbors csr v =
+  Array.sub csr.adj csr.xadj.(v) (degree csr v)

@@ -1,0 +1,21 @@
+(** A Kronecker (R-MAT) graph generator following the graph500
+    specification: edges are drawn by recursively descending the
+    adjacency matrix with quadrant probabilities
+    (A, B, C, D) = (0.57, 0.19, 0.19, 0.05), then symmetrized and laid
+    out in CSR form. *)
+
+type csr = {
+  vertices : int;
+  xadj : int array;  (** length [vertices + 1]; CSR row offsets *)
+  adj : int array;  (** concatenated neighbor lists *)
+}
+
+val generate : ?scale:int -> ?edge_factor:int -> Atp_util.Prng.t -> csr
+(** [scale] defaults to 16 (2^16 vertices); [edge_factor] defaults to
+    16 edges per vertex, both per the graph500 benchmark.  The result
+    stores each undirected edge in both directions. *)
+
+val degree : csr -> int -> int
+
+val out_neighbors : csr -> int -> int array
+(** A copy, for tests. *)

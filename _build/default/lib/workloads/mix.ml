@@ -1,0 +1,86 @@
+open Atp_util
+
+let offset ~by w =
+  if by < 0 then invalid_arg "Mix.offset: negative offset";
+  {
+    Workload.name = w.Workload.name ^ "+offset";
+    virtual_pages = w.Workload.virtual_pages + by;
+    description =
+      Printf.sprintf "%s shifted by %d pages" w.Workload.description by;
+    next = (fun () -> by + w.Workload.next ());
+  }
+
+let interleave ?weights workloads rng =
+  let n = Array.length workloads in
+  if n = 0 then invalid_arg "Mix.interleave: no workloads";
+  let weights =
+    match weights with
+    | None -> Array.make n 1.0
+    | Some w ->
+      if Array.length w <> n then invalid_arg "Mix.interleave: weight mismatch";
+      w
+  in
+  let pick = Sampler.discrete weights in
+  let virtual_pages =
+    Array.fold_left (fun acc w -> max acc w.Workload.virtual_pages) 0 workloads
+  in
+  {
+    Workload.name = "interleave";
+    virtual_pages;
+    description =
+      Printf.sprintf "probabilistic mix of %d workloads: %s" n
+        (String.concat ", "
+           (Array.to_list (Array.map (fun w -> w.Workload.name) workloads)));
+    next =
+      (fun () ->
+        let i = Sampler.sample_discrete pick rng in
+        workloads.(i).Workload.next ());
+  }
+
+let round_robin ~quantum workloads =
+  let n = Array.length workloads in
+  if n = 0 then invalid_arg "Mix.round_robin: no workloads";
+  if quantum < 1 then invalid_arg "Mix.round_robin: quantum must be positive";
+  let virtual_pages =
+    Array.fold_left (fun acc w -> max acc w.Workload.virtual_pages) 0 workloads
+  in
+  let current = ref 0 and used = ref 0 in
+  {
+    Workload.name = "round-robin";
+    virtual_pages;
+    description =
+      Printf.sprintf "round-robin over %d workloads, quantum %d" n quantum;
+    next =
+      (fun () ->
+        if !used = quantum then begin
+          used := 0;
+          current := (!current + 1) mod n
+        end;
+        incr used;
+        workloads.(!current).Workload.next ());
+  }
+
+let phases spec =
+  if spec = [] then invalid_arg "Mix.phases: no phases";
+  List.iter
+    (fun (n, _) -> if n < 1 then invalid_arg "Mix.phases: bad phase length")
+    spec;
+  let arr = Array.of_list spec in
+  let virtual_pages =
+    Array.fold_left (fun acc (_, w) -> max acc w.Workload.virtual_pages) 0 arr
+  in
+  let phase = ref 0 and used = ref 0 in
+  {
+    Workload.name = "phases";
+    virtual_pages;
+    description = Printf.sprintf "%d cycling phases" (Array.length arr);
+    next =
+      (fun () ->
+        let len, _ = arr.(!phase) in
+        if !used = len then begin
+          used := 0;
+          phase := (!phase + 1) mod Array.length arr
+        end;
+        incr used;
+        (snd arr.(!phase)).Workload.next ());
+  }

@@ -1,0 +1,25 @@
+(** Workload combinators: build multi-tenant and phase-changing
+    reference streams out of simple ones.
+
+    Cloud consolidation — many tenants sharing one TLB and one RAM —
+    is a core motivation of the paper; these combinators produce such
+    streams while keeping every component reproducible. *)
+
+val offset : by:int -> Workload.t -> Workload.t
+(** Shift every page by [by] (disjoint address ranges for tenants).
+    [virtual_pages] grows accordingly. *)
+
+val interleave :
+  ?weights:float array -> Workload.t array -> Atp_util.Prng.t -> Workload.t
+(** Each access comes from workload [i] with probability proportional
+    to [weights.(i)] (uniform by default).  Address spaces are NOT
+    offset automatically — combine with {!offset} for disjoint
+    tenants. *)
+
+val round_robin : quantum:int -> Workload.t array -> Workload.t
+(** Deterministic scheduling: [quantum] accesses from each workload in
+    turn — a time-sliced CPU. *)
+
+val phases : (int * Workload.t) list -> Workload.t
+(** [phases [(n1, w1); (n2, w2); …]] plays [n1] accesses of [w1], then
+    [n2] of [w2], …, cycling forever — program phase behaviour. *)

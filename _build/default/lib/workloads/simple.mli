@@ -1,0 +1,18 @@
+(** Elementary reference patterns, for calibration and tests. *)
+
+val uniform : virtual_pages:int -> Atp_util.Prng.t -> Workload.t
+
+val sequential : virtual_pages:int -> unit -> Workload.t
+(** 0, 1, 2, …, wrapping: the classic scan that defeats LRU when the
+    cache is one page too small. *)
+
+val strided : stride:int -> virtual_pages:int -> unit -> Workload.t
+(** 0, s, 2s, …, wrapping. *)
+
+val zipf : ?s:float -> virtual_pages:int -> Atp_util.Prng.t -> Workload.t
+(** Zipf-popular pages ([s] defaults to 1.0): a generic skewed
+    workload. *)
+
+val looping : window:int -> virtual_pages:int -> unit -> Workload.t
+(** Cyclic scan over the first [window] pages — OPT's canonical
+    advantage case over LRU. *)

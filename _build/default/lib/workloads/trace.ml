@@ -1,0 +1,126 @@
+open Atp_util
+
+type summary = {
+  length : int;
+  footprint : int;
+  min_page : int;
+  max_page : int;
+}
+
+let summarize trace =
+  if Array.length trace = 0 then
+    { length = 0; footprint = 0; min_page = 0; max_page = 0 }
+  else begin
+    let seen = Int_table.create () in
+    let min_page = ref max_int and max_page = ref min_int in
+    Array.iter
+      (fun page ->
+        ignore (Int_table.add_if_absent seen page 1);
+        if page < !min_page then min_page := page;
+        if page > !max_page then max_page := page)
+      trace;
+    {
+      length = Array.length trace;
+      footprint = Int_table.length seen;
+      min_page = !min_page;
+      max_page = !max_page;
+    }
+  end
+
+let with_out path f =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
+
+let with_in path f =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> f ic)
+
+let save_text path trace =
+  with_out path (fun oc ->
+      Array.iter (fun page -> Printf.fprintf oc "%d\n" page) trace)
+
+let load_text path =
+  with_in path (fun ic ->
+      let acc = ref [] in
+      let count = ref 0 in
+      (try
+         while true do
+           let line = String.trim (input_line ic) in
+           if line <> "" && line.[0] <> '#' then begin
+             match int_of_string_opt line with
+             | Some page ->
+               acc := page :: !acc;
+               incr count
+             | None -> failwith (Printf.sprintf "Trace.load_text: bad line %S" line)
+           end
+         done
+       with End_of_file -> ());
+      let arr = Array.make !count 0 in
+      List.iteri (fun i page -> arr.(!count - 1 - i) <- page) !acc;
+      arr)
+
+let magic = "ATPT"
+
+let write_u64 oc v =
+  for shift = 0 to 7 do
+    output_byte oc ((v lsr (8 * shift)) land 0xFF)
+  done
+
+let read_u64 ic =
+  let v = ref 0 in
+  for shift = 0 to 7 do
+    let byte = input_byte ic in
+    v := !v lor (byte lsl (8 * shift))
+  done;
+  !v
+
+let save_binary path trace =
+  with_out path (fun oc ->
+      output_string oc magic;
+      write_u64 oc (Array.length trace);
+      Array.iter (fun page -> write_u64 oc page) trace)
+
+let load_binary path =
+  with_in path (fun ic ->
+      let m = really_input_string ic 4 in
+      if m <> magic then failwith "Trace.load_binary: bad magic";
+      match read_u64 ic with
+      | exception End_of_file -> failwith "Trace.load_binary: truncated header"
+      | n ->
+        (try Array.init n (fun _ -> read_u64 ic)
+         with End_of_file -> failwith "Trace.load_binary: truncated body"))
+
+let pp_summary ppf s =
+  Format.fprintf ppf "length=%a footprint=%a pages=[%d, %d]"
+    Stats.pp_count s.length Stats.pp_count s.footprint s.min_page s.max_page
+
+let replay ?(loop = true) trace =
+  if Array.length trace = 0 then invalid_arg "Trace.replay: empty trace";
+  let s = summarize trace in
+  let pos = ref 0 in
+  let next () =
+    if !pos >= Array.length trace then
+      if loop then pos := 0 else raise End_of_file;
+    let page = trace.(!pos) in
+    incr pos;
+    page
+  in
+  {
+    Workload.name = "replay";
+    virtual_pages = s.max_page + 1;
+    description =
+      Printf.sprintf "recorded trace of %d references over %d pages%s"
+        s.length s.footprint
+        (if loop then ", looping" else "");
+    next;
+  }
+
+let workload_of_file ?loop path =
+  let is_binary =
+    try
+      with_in path (fun ic ->
+          let m = really_input_string ic 4 in
+          m = magic)
+    with End_of_file -> false
+  in
+  replay ?loop (if is_binary then load_binary path else load_text path)

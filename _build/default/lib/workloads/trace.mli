@@ -1,0 +1,38 @@
+(** Trace persistence and summary statistics, so users can bring their
+    own recorded page traces (the paper's graph500 experiment replays
+    one) and so generated traces can be archived. *)
+
+type summary = {
+  length : int;
+  footprint : int;  (** distinct pages touched *)
+  min_page : int;
+  max_page : int;
+}
+
+val summarize : int array -> summary
+
+val save_text : string -> int array -> unit
+(** One decimal page number per line. *)
+
+val load_text : string -> int array
+(** Ignores blank lines and [#]-comments; raises [Failure] on a
+    malformed line. *)
+
+val save_binary : string -> int array -> unit
+(** A small framed format: magic "ATPT", a 64-bit little-endian count,
+    then 64-bit little-endian page numbers. *)
+
+val load_binary : string -> int array
+(** Raises [Failure] on bad magic or a truncated file. *)
+
+val pp_summary : Format.formatter -> summary -> unit
+
+val replay : ?loop:bool -> int array -> Workload.t
+(** Turn a recorded trace into a workload.  With [loop] (default
+    true) the trace wraps around; otherwise exhausting it raises
+    [End_of_file] — useful when the consumer must not silently
+    recycle. *)
+
+val workload_of_file : ?loop:bool -> string -> Workload.t
+(** {!replay} over {!load_text} or {!load_binary}, picked by the
+    file's magic bytes. *)

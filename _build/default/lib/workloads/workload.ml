@@ -1,0 +1,18 @@
+type t = {
+  name : string;
+  virtual_pages : int;
+  description : string;
+  next : unit -> int;
+}
+
+let generate t n = Array.init n (fun _ -> t.next ())
+
+let to_seq t = Seq.forever t.next
+
+let page_size = 4096
+
+let pages_of_bytes bytes = (bytes + page_size - 1) / page_size
+
+let gib n = n * 1024 * 1024 * 1024
+
+let mib n = n * 1024 * 1024

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Array Atp_memsim Atp_paging Atp_util Atp_workloads Competitive Gen List Lru Machine Mix Policy Printf Prng QCheck QCheck_alcotest Sim Simple Workload

@@ -1,0 +1,1 @@
+test/test_ballsbins.ml: Adversary Alcotest Array Atp_ballsbins Atp_util Game Hashtbl List Printf Prng QCheck QCheck_alcotest Runner Seq Strategy

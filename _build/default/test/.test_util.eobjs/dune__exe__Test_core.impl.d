@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Alloc Array Atp_core Atp_paging Atp_util Decoupled Encoding Hashtbl List Lru Option Params Policy Printf Prng QCheck QCheck_alcotest Sim Simulation

@@ -1,0 +1,1 @@
+test/test_coverage.ml: Alcotest Atp_paging Atp_util Atp_workloads Bimodal Format Graph_walk List Lru Mattson Opt Policy Prng Registry Seq Sim Simple Slots Stats String Workload

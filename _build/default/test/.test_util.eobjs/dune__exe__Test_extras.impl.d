@@ -1,0 +1,1 @@
+test/test_extras.ml: Alcotest Array Atp_paging Atp_tlb Atp_util Fun Lirs List Lru Mattson Policy Printf Prng Sampler Sim Slru

@@ -1,0 +1,1 @@
+test/test_iceberg.ml: Alcotest Atp_ballsbins Atp_tlb Atp_util Hashtbl Iceberg_table List Printf Prng QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Alloc Atp_core Atp_memsim Atp_paging Atp_util Atp_workloads Bimodal Graph500 Graph_walk Kronecker List Lru Machine Params Policy Printf Prng Simulation Workload

@@ -1,0 +1,1 @@
+test/test_memsim.ml: Alcotest Array Atp_memsim Atp_util Buddy List Machine Option Prng QCheck QCheck_alcotest

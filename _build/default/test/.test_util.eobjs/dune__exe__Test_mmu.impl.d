@@ -1,0 +1,1 @@
+test/test_mmu.ml: Alcotest Array Atp_memsim Atp_util Hashtbl List Nested Option Page_table Printf QCheck QCheck_alcotest Walker

@@ -1,0 +1,1 @@
+test/test_multi.ml: Alcotest Array Asid Atp_paging Atp_tlb Atp_util Atp_workloads Hierarchy Hpc List Printf Prng Tlb Workload

@@ -1,0 +1,1 @@
+test/test_os.ml: Alcotest Array Atp_memsim Atp_util Atp_workloads Bimodal Printf Prng Smp Thp Workload

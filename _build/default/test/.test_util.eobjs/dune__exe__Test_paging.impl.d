@@ -1,0 +1,1 @@
+test/test_paging.ml: Alcotest Arc Array Atp_paging Atp_util Clock Fifo Format Gen Hashtbl Lfu List Lru Mru Opt Option Policy Printf Prng QCheck QCheck_alcotest Rand_policy Registry Sim Two_q

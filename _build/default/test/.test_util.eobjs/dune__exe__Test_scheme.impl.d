@@ -1,0 +1,1 @@
+test/test_scheme.ml: Adversary Alcotest Array Atp_ballsbins Atp_core Atp_memsim Atp_util Atp_workloads Bimodal Game Hpc List Option Printf Prng Runner Scheme Strategy String Workload

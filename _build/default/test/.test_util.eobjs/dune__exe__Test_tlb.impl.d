@@ -1,0 +1,1 @@
+test/test_tlb.ml: Alcotest Atp_paging Atp_tlb Fifo List Set_assoc Split Tlb

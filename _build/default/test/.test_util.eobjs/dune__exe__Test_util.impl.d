@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Atp_util Bitvec Format Hashing Hashtbl Heap Int64 Int_table List Lru_list Packed_array Page_list Printf Prng QCheck QCheck_alcotest Sampler Stats

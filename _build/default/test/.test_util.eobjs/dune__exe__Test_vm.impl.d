@@ -1,0 +1,1 @@
+test/test_vm.ml: Alcotest Atp_memsim Atp_util Fun List Parallel Printf Prng Superpage Vmm

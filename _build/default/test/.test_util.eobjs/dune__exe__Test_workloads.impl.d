@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Atp_util Atp_workloads Bimodal Filename Fun Graph500 Graph_walk Hashtbl Kronecker Option Prng Simple Sys Trace Workload

@@ -1,0 +1,240 @@
+open Atp_ballsbins
+open Atp_util
+
+let check = Alcotest.check
+
+(* --- Game ----------------------------------------------------------- *)
+
+let test_game_place_remove () =
+  let g = Game.create ~bins:4 () in
+  Game.place g ~ball:7 ~bin:2 ~layer:0;
+  check Alcotest.int "balls" 1 (Game.balls g);
+  check Alcotest.int "load" 1 (Game.load g 2);
+  check Alcotest.(option int) "bin_of" (Some 2) (Game.bin_of g 7);
+  check Alcotest.int "max load" 1 (Game.max_load g);
+  check Alcotest.int "removed from" 2 (Game.remove g ~ball:7);
+  check Alcotest.int "empty again" 0 (Game.balls g);
+  check Alcotest.int "max load zero" 0 (Game.max_load g)
+
+let test_game_stability () =
+  let g = Game.create ~bins:2 () in
+  Game.place g ~ball:1 ~bin:0 ~layer:0;
+  Alcotest.check_raises "double place"
+    (Invalid_argument "Game.place: ball already present (stability violation)")
+    (fun () -> Game.place g ~ball:1 ~bin:1 ~layer:0)
+
+let test_game_layers () =
+  let g = Game.create ~layers:2 ~bins:3 () in
+  Game.place g ~ball:1 ~bin:0 ~layer:0;
+  Game.place g ~ball:2 ~bin:0 ~layer:1;
+  check Alcotest.int "front load" 1 (Game.layer_load g ~layer:0 0);
+  check Alcotest.int "back load" 1 (Game.layer_load g ~layer:1 0);
+  check Alcotest.int "total" 2 (Game.load g 0)
+
+let test_game_max_load_tracking () =
+  let g = Game.create ~bins:3 () in
+  (* Build loads 3,1,0 then delete down and watch the max follow. *)
+  List.iter (fun ball -> Game.place g ~ball ~bin:0 ~layer:0) [ 1; 2; 3 ];
+  Game.place g ~ball:4 ~bin:1 ~layer:0;
+  check Alcotest.int "max 3" 3 (Game.max_load g);
+  ignore (Game.remove g ~ball:1);
+  ignore (Game.remove g ~ball:2);
+  check Alcotest.int "max falls to 1" 1 (Game.max_load g);
+  ignore (Game.remove g ~ball:3);
+  ignore (Game.remove g ~ball:4);
+  check Alcotest.int "max zero" 0 (Game.max_load g)
+
+let prop_game_max_load_matches_recompute =
+  QCheck.Test.make ~name:"incremental max load = recomputed max load" ~count:100
+    QCheck.(list (pair (int_bound 500) (int_bound 7)))
+    (fun ops ->
+      let g = Game.create ~bins:8 () in
+      let ok = ref true in
+      List.iter
+        (fun (ball, bin) ->
+          (match Game.bin_of g ball with
+           | Some _ -> ignore (Game.remove g ~ball)
+           | None -> Game.place g ~ball ~bin ~layer:0);
+          let loads = Game.loads g in
+          let expected = Array.fold_left max 0 loads in
+          if Game.max_load g <> expected then ok := false)
+        ops;
+      !ok)
+
+(* --- Strategies ----------------------------------------------------- *)
+
+let run_strategy ?bin_capacity ~layers ~bins strategy ops =
+  let game = Game.create ~layers ~bins () in
+  Runner.run ?bin_capacity ~game ~strategy ops
+
+let test_one_choice_places_consistently () =
+  let rng = Prng.create ~seed:1 () in
+  let s = Strategy.one_choice rng ~bins:16 in
+  let g = Game.create ~bins:16 () in
+  let p1 = s.Strategy.choose g 42 in
+  let p2 = s.Strategy.choose g 42 in
+  check Alcotest.int "same bin for same ball" p1.Strategy.bin p2.Strategy.bin;
+  check Alcotest.int "k" 1 s.Strategy.k
+
+let test_greedy_picks_less_loaded () =
+  let rng = Prng.create ~seed:2 () in
+  let s = Strategy.greedy rng ~d:2 ~bins:4 in
+  let g = Game.create ~bins:4 () in
+  (* Make every bin except one heavily loaded; the strategy must not
+     pick a maximal bin unless both its choices are maximal. *)
+  for ball = 1000 to 1011 do
+    Game.place g ~ball ~bin:(ball mod 4) ~layer:0
+  done;
+  ignore (Game.remove g ~ball:1000);
+  ignore (Game.remove g ~ball:1004);
+  ignore (Game.remove g ~ball:1008);
+  (* bin 0 has load 0; others 3. *)
+  let picked_light = ref 0 in
+  for ball = 0 to 199 do
+    let p = s.Strategy.choose g ball in
+    if Game.load g p.Strategy.bin = 0 then incr picked_light
+  done;
+  (* A ball picks bin 0 iff one of its two hashes lands there:
+     probability 1 - (3/4)^2 = 7/16; check it is picked much more than
+     the 1/4 a blind single choice would give. *)
+  check Alcotest.bool "prefers light bin" true (!picked_light > 60)
+
+let test_iceberg_respects_front_cap () =
+  let rng = Prng.create ~seed:3 () in
+  let bins = 8 in
+  let tau = 3 in
+  let s = Strategy.iceberg rng ~tau ~bins () in
+  let g = Game.create ~layers:2 ~bins () in
+  check Alcotest.int "k = d+1" 3 s.Strategy.k;
+  for ball = 0 to 199 do
+    let p = s.Strategy.choose g ball in
+    if p.Strategy.layer = Strategy.front_yard then
+      check Alcotest.bool "front under cap" true
+        (Game.layer_load g ~layer:Strategy.front_yard p.Strategy.bin < tau);
+    Game.place g ~ball ~bin:p.Strategy.bin ~layer:p.Strategy.layer
+  done;
+  (* No bin's front yard may exceed tau. *)
+  for bin = 0 to bins - 1 do
+    check Alcotest.bool "front yard bounded" true
+      (Game.layer_load g ~layer:Strategy.front_yard bin <= tau)
+  done
+
+let test_iceberg_beats_one_choice () =
+  (* The headline of Theorem 2: Iceberg's max load tracks λ + O(log log n)
+     while one-choice pays an additive Θ(√(λ log n)). *)
+  let bins = 256 in
+  let m = 8 * bins in
+  let run strategy layers =
+    let r =
+      run_strategy ~layers ~bins strategy (Adversary.arrivals ~m)
+    in
+    r.Runner.max_load_final
+  in
+  let rng = Prng.create ~seed:4 () in
+  let one = run (Strategy.one_choice rng ~bins) 1 in
+  let rng = Prng.create ~seed:5 () in
+  let tau = Strategy.default_tau ~m ~bins in
+  let ice = run (Strategy.iceberg rng ~tau ~bins ()) 2 in
+  check Alcotest.bool
+    (Printf.sprintf "iceberg (%d) <= one-choice (%d)" ice one)
+    true (ice <= one);
+  check Alcotest.bool "iceberg near average" true (ice <= 9 + 4)
+
+let test_runner_failure_accounting () =
+  (* One bin, capacity 2, three arrivals via one-choice: the third ball
+     must be labeled failed. *)
+  let rng = Prng.create ~seed:6 () in
+  let s = Strategy.one_choice rng ~bins:1 in
+  let r = run_strategy ~bin_capacity:2 ~layers:1 ~bins:1 s (Adversary.arrivals ~m:3) in
+  check Alcotest.int "one failure" 1 r.Runner.failed_balls;
+  check Alcotest.int "all inserted" 3 r.Runner.inserts
+
+let test_runner_counts () =
+  let rng = Prng.create ~seed:7 () in
+  let s = Strategy.greedy rng ~d:2 ~bins:32 in
+  let adversary_rng = Prng.create ~seed:8 () in
+  let ops = Adversary.churn adversary_rng ~m:64 ~steps:100 ~fresh:true in
+  let r = run_strategy ~layers:1 ~bins:32 s ops in
+  check Alcotest.int "inserts" 164 r.Runner.inserts;
+  check Alcotest.int "deletes" 100 r.Runner.deletes;
+  check Alcotest.int "peak" 64 r.Runner.peak_balls
+
+(* --- Adversaries ---------------------------------------------------- *)
+
+let ops_are_consistent ops =
+  (* Each delete refers to a live ball; the live count never exceeds m. *)
+  let live = Hashtbl.create 64 in
+  Seq.iter
+    (fun op ->
+      match op with
+      | Adversary.Insert ball ->
+        if Hashtbl.mem live ball then failwith "insert of live ball";
+        Hashtbl.replace live ball ()
+      | Adversary.Delete ball ->
+        if not (Hashtbl.mem live ball) then failwith "delete of dead ball";
+        Hashtbl.remove live ball)
+    ops;
+  Hashtbl.length live
+
+let test_arrivals () =
+  let n = ops_are_consistent (Adversary.arrivals ~m:50) in
+  check Alcotest.int "all live" 50 n
+
+let test_churn_consistent () =
+  let rng = Prng.create ~seed:9 () in
+  let n = ops_are_consistent (Adversary.churn rng ~m:30 ~steps:200 ~fresh:true) in
+  check Alcotest.int "steady state" 30 n
+
+let test_churn_recycles_consistent () =
+  let rng = Prng.create ~seed:10 () in
+  let n = ops_are_consistent (Adversary.churn rng ~m:30 ~steps:200 ~fresh:false) in
+  check Alcotest.int "steady state" 30 n
+
+let test_fifo_churn_consistent () =
+  let n = ops_are_consistent (Adversary.fifo_churn ~m:20 ~steps:50) in
+  check Alcotest.int "steady state" 20 n
+
+let test_sliding_window_consistent () =
+  let rng = Prng.create ~seed:11 () in
+  let n =
+    ops_are_consistent (Adversary.sliding_window ~m:25 ~universe:200 ~steps:500 rng)
+  in
+  check Alcotest.bool "at most m live" true (n <= 25)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "atp.ballsbins"
+    [
+      ( "game",
+        Alcotest.test_case "place/remove" `Quick test_game_place_remove
+        :: Alcotest.test_case "stability" `Quick test_game_stability
+        :: Alcotest.test_case "layers" `Quick test_game_layers
+        :: Alcotest.test_case "max load tracking" `Quick test_game_max_load_tracking
+        :: qsuite [ prop_game_max_load_matches_recompute ] );
+      ( "strategies",
+        [
+          Alcotest.test_case "one-choice consistent" `Quick
+            test_one_choice_places_consistently;
+          Alcotest.test_case "greedy picks light bin" `Quick
+            test_greedy_picks_less_loaded;
+          Alcotest.test_case "iceberg front cap" `Quick
+            test_iceberg_respects_front_cap;
+          Alcotest.test_case "iceberg beats one-choice" `Quick
+            test_iceberg_beats_one_choice;
+        ] );
+      ( "runner",
+        [
+          Alcotest.test_case "failure accounting" `Quick
+            test_runner_failure_accounting;
+          Alcotest.test_case "counts" `Quick test_runner_counts;
+        ] );
+      ( "adversaries",
+        [
+          Alcotest.test_case "arrivals" `Quick test_arrivals;
+          Alcotest.test_case "churn fresh" `Quick test_churn_consistent;
+          Alcotest.test_case "churn recycle" `Quick test_churn_recycles_consistent;
+          Alcotest.test_case "fifo churn" `Quick test_fifo_churn_consistent;
+          Alcotest.test_case "sliding window" `Quick test_sliding_window_consistent;
+        ] );
+    ]

@@ -1,0 +1,173 @@
+(* Tests for the Iceberg hash table and the TLB prefetcher. *)
+
+open Atp_ballsbins
+open Atp_util
+
+let check = Alcotest.check
+
+(* --- Iceberg table -------------------------------------------------------- *)
+
+let test_iceberg_basic () =
+  let t = Iceberg_table.create ~capacity:100 () in
+  Iceberg_table.insert t 1 "one";
+  Iceberg_table.insert t 2 "two";
+  check Alcotest.(option string) "find 1" (Some "one") (Iceberg_table.find t 1);
+  check Alcotest.(option string) "find 2" (Some "two") (Iceberg_table.find t 2);
+  check Alcotest.(option string) "absent" None (Iceberg_table.find t 3);
+  check Alcotest.int "length" 2 (Iceberg_table.length t);
+  Iceberg_table.insert t 1 "uno";
+  check Alcotest.(option string) "replace" (Some "uno") (Iceberg_table.find t 1);
+  check Alcotest.int "length unchanged" 2 (Iceberg_table.length t);
+  check Alcotest.bool "remove" true (Iceberg_table.remove t 1);
+  check Alcotest.bool "remove again" false (Iceberg_table.remove t 1);
+  check Alcotest.(option string) "gone" None (Iceberg_table.find t 1)
+
+let test_iceberg_rejects_negative () =
+  let t = Iceberg_table.create ~capacity:10 () in
+  Alcotest.check_raises "negative key"
+    (Invalid_argument "Iceberg_table: keys must be non-negative") (fun () ->
+      Iceberg_table.insert t (-1) 0)
+
+let test_iceberg_fill_to_capacity () =
+  let capacity = 10_000 in
+  let t = Iceberg_table.create ~capacity () in
+  for k = 0 to capacity - 1 do
+    Iceberg_table.insert t k (k * 3)
+  done;
+  check Alcotest.int "all present" capacity (Iceberg_table.length t);
+  for k = 0 to capacity - 1 do
+    if Iceberg_table.find t k <> Some (k * 3) then
+      Alcotest.failf "lost key %d" k
+  done;
+  (* The front yard dominates and spill stays tiny — the Iceberg
+     property. *)
+  check Alcotest.bool
+    (Printf.sprintf "front fraction high (%.3f)" (Iceberg_table.front_yard_fraction t))
+    true
+    (Iceberg_table.front_yard_fraction t > 0.85);
+  check Alcotest.bool
+    (Printf.sprintf "spill tiny (%d)" (Iceberg_table.overflow_count t))
+    true
+    (Iceberg_table.overflow_count t < capacity / 100)
+
+let test_iceberg_probe_bound () =
+  let t = Iceberg_table.create ~capacity:5_000 () in
+  for k = 0 to 4_999 do Iceberg_table.insert t k k done;
+  Iceberg_table.reset_stats t;
+  for k = 0 to 4_999 do ignore (Iceberg_table.find t k) done;
+  let s = Iceberg_table.stats t in
+  let avg = float_of_int s.Iceberg_table.slots_probed /. float_of_int s.Iceberg_table.lookups in
+  (* Worst case is 8 + 4 + 4 = 16 slots; the average should be far
+     below the front-bin width. *)
+  check Alcotest.bool (Printf.sprintf "avg probes small (%.2f)" avg) true (avg < 9.0)
+
+let prop_iceberg_matches_hashtbl =
+  QCheck.Test.make ~count:100 ~name:"iceberg table matches Hashtbl model"
+    QCheck.(list (pair (int_bound 200) (option small_nat)))
+    (fun ops ->
+      let t = Iceberg_table.create ~capacity:64 () in
+      let model = Hashtbl.create 16 in
+      List.iter
+        (fun (k, op) ->
+          match op with
+          | Some v ->
+            Iceberg_table.insert t k v;
+            Hashtbl.replace model k v
+          | None ->
+            let a = Iceberg_table.remove t k in
+            let b = Hashtbl.mem model k in
+            Hashtbl.remove model k;
+            if a <> b then failwith "remove mismatch")
+        ops;
+      Iceberg_table.length t = Hashtbl.length model
+      && Hashtbl.fold
+           (fun k v acc -> acc && Iceberg_table.find t k = Some v)
+           model true)
+
+let test_iceberg_churn_stability () =
+  (* Heavy delete/reinsert churn at high load must not degrade
+     correctness or blow up the spill area. *)
+  let capacity = 4_096 in
+  let t = Iceberg_table.create ~capacity () in
+  let rng = Prng.create ~seed:5 () in
+  for k = 0 to capacity - 1 do Iceberg_table.insert t k k done;
+  for round = 1 to 20_000 do
+    let k = Prng.int rng capacity in
+    if Iceberg_table.mem t k then ignore (Iceberg_table.remove t k)
+    else Iceberg_table.insert t k (k + round)
+  done;
+  check Alcotest.bool "spill bounded under churn" true
+    (Iceberg_table.overflow_count t < capacity / 50)
+
+(* --- Prefetch ---------------------------------------------------------------- *)
+
+let test_prefetch_sequential_eliminates_misses () =
+  let pt v = if v < 10_000 then Some v else None in
+  let run degree =
+    let t = Atp_tlb.Prefetch.create ~degree ~entries:64 ~translate:pt () in
+    for v = 0 to 4_999 do
+      ignore (Atp_tlb.Prefetch.lookup t v)
+    done;
+    (Atp_tlb.Prefetch.stats t).Atp_tlb.Prefetch.demand_misses
+  in
+  let without = run 0 and with_prefetch = run 4 in
+  check Alcotest.int "no prefetch: every access misses" 5_000 without;
+  check Alcotest.bool
+    (Printf.sprintf "prefetch kills sequential misses (%d)" with_prefetch)
+    true
+    (with_prefetch <= (5_000 / 5) + 1)
+
+let test_prefetch_accuracy_on_random () =
+  let pt v = if v < 100_000 then Some v else None in
+  let t = Atp_tlb.Prefetch.create ~degree:2 ~entries:64 ~translate:pt () in
+  let rng = Prng.create ~seed:6 () in
+  for _ = 1 to 5_000 do
+    ignore (Atp_tlb.Prefetch.lookup t (Prng.int rng 100_000))
+  done;
+  (* Random accesses make next-page prefetch useless. *)
+  check Alcotest.bool
+    (Printf.sprintf "accuracy low on random (%.3f)" (Atp_tlb.Prefetch.accuracy t))
+    true
+    (Atp_tlb.Prefetch.accuracy t < 0.05);
+  check Alcotest.bool "accuracy perfect on sequential" true
+    (let t = Atp_tlb.Prefetch.create ~degree:1 ~entries:64 ~translate:pt () in
+     for v = 0 to 999 do ignore (Atp_tlb.Prefetch.lookup t v) done;
+     Atp_tlb.Prefetch.accuracy t > 0.99)
+
+let test_prefetch_skips_unmapped () =
+  let pt v = if v = 5 then Some 50 else None in
+  let t = Atp_tlb.Prefetch.create ~degree:3 ~entries:8 ~translate:pt () in
+  check Alcotest.(option int) "mapped" (Some 50) (Atp_tlb.Prefetch.lookup t 5);
+  let s = Atp_tlb.Prefetch.stats t in
+  check Alcotest.int "nothing prefetched past the mapping" 0
+    s.Atp_tlb.Prefetch.prefetches;
+  check Alcotest.(option int) "unmapped lookup" None (Atp_tlb.Prefetch.lookup t 6)
+
+let test_prefetch_invalidate () =
+  let pt _ = Some 1 in
+  let t = Atp_tlb.Prefetch.create ~entries:8 ~translate:pt () in
+  ignore (Atp_tlb.Prefetch.lookup t 0);
+  check Alcotest.bool "entry present" true (Atp_tlb.Prefetch.invalidate t 0);
+  check Alcotest.bool "prefetched neighbor present" true
+    (Atp_tlb.Prefetch.invalidate t 1)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "atp.iceberg"
+    [
+      ( "iceberg-table",
+        Alcotest.test_case "basic" `Quick test_iceberg_basic
+        :: Alcotest.test_case "negative keys" `Quick test_iceberg_rejects_negative
+        :: Alcotest.test_case "fill to capacity" `Quick test_iceberg_fill_to_capacity
+        :: Alcotest.test_case "probe bound" `Quick test_iceberg_probe_bound
+        :: Alcotest.test_case "churn stability" `Quick test_iceberg_churn_stability
+        :: qsuite [ prop_iceberg_matches_hashtbl ] );
+      ( "prefetch",
+        [
+          Alcotest.test_case "sequential" `Quick test_prefetch_sequential_eliminates_misses;
+          Alcotest.test_case "accuracy" `Quick test_prefetch_accuracy_on_random;
+          Alcotest.test_case "skips unmapped" `Quick test_prefetch_skips_unmapped;
+          Alcotest.test_case "invalidate" `Quick test_prefetch_invalidate;
+        ] );
+    ]

@@ -1,0 +1,168 @@
+(* End-to-end checks of the experiment pipelines at miniature scale:
+   each is a shrunken version of a benchmark in bench/main.ml, with
+   assertions on the qualitative shape the paper reports rather than
+   absolute counts. *)
+
+open Atp_core
+open Atp_memsim
+open Atp_paging
+open Atp_workloads
+open Atp_util
+
+let check = Alcotest.check
+
+let machine_config ~ram ~h =
+  { Machine.default_config with ram_pages = ram; tlb_entries = 64; huge_size = h }
+
+(* Run the Figure 1 sweep on a given workload; return (h, ios,
+   tlb_misses) rows. *)
+let sweep ~ram ~warmup ~measured workload_of =
+  List.map
+    (fun h ->
+      let w = workload_of () in
+      let warmup_trace = Workload.generate w warmup in
+      let trace = Workload.generate w measured in
+      let m = Machine.create (machine_config ~ram ~h) in
+      let c = Machine.run ~warmup:warmup_trace m trace in
+      (h, c.Machine.ios, c.Machine.tlb_misses))
+    [ 1; 4; 16; 64 ]
+
+let assert_figure1_shape name rows =
+  let _, ios1, tlb1 = List.nth rows 0 in
+  let _, ios_big, tlb_big = List.nth rows (List.length rows - 1) in
+  check Alcotest.bool (name ^ ": IOs grow with h") true (ios_big > ios1);
+  check Alcotest.bool (name ^ ": TLB misses shrink with h") true
+    (tlb_big < tlb1)
+
+let test_fig1a_shape () =
+  let seed = ref 0 in
+  let workload_of () =
+    incr seed;
+    let rng = Prng.create ~seed:!seed () in
+    Bimodal.create ~hot_fraction:0.999 ~hot_pages:512 ~virtual_pages:(1 lsl 16) rng
+  in
+  assert_figure1_shape "bimodal" (sweep ~ram:4096 ~warmup:20_000 ~measured:20_000 workload_of)
+
+let test_fig1b_shape () =
+  let seed = ref 10 in
+  let workload_of () =
+    incr seed;
+    let rng = Prng.create ~seed:!seed () in
+    Graph_walk.create ~virtual_pages:(1 lsl 14) rng
+  in
+  assert_figure1_shape "graph walk" (sweep ~ram:2048 ~warmup:20_000 ~measured:20_000 workload_of)
+
+let test_fig1c_shape () =
+  (* Needs a graph whose working state exceeds both the TLB reach and
+     RAM (the paper sizes RAM just below the trace footprint). *)
+  let rng = Prng.create ~seed:42 () in
+  let csr = Kronecker.generate ~scale:13 ~edge_factor:16 rng in
+  let rows =
+    List.map
+      (fun h ->
+        let w, layout = Graph500.create_from csr (Prng.create ~seed:7 ()) in
+        let ram = layout.Graph500.total_pages * 9 / 10 in
+        let warmup_trace = Workload.generate w 50_000 in
+        let trace = Workload.generate w 50_000 in
+        let m = Machine.create (machine_config ~ram ~h) in
+        let c = Machine.run ~warmup:warmup_trace m trace in
+        (h, c.Machine.ios, c.Machine.tlb_misses))
+      [ 1; 4; 16; 64 ]
+  in
+  assert_figure1_shape "graph500" rows
+
+(* The paper's central claim, in miniature: the decoupled scheme Z gets
+   close to the TLB misses of a huge-page TLB (X with huge coverage)
+   while paying the IOs of a no-huge-pages RAM policy (Y at base-page
+   granularity) — strictly better than every fixed physical huge-page
+   configuration on a bimodal workload with meaningful epsilon. *)
+let test_decoupling_beats_physical_huge_pages () =
+  let epsilon = 0.1 in
+  let ram = 4096 in
+  let virtual_pages = 1 lsl 16 in
+  let mk_workload seed =
+    let rng = Prng.create ~seed () in
+    Bimodal.create ~hot_fraction:0.999 ~hot_pages:512 ~virtual_pages rng
+  in
+  (* Physical huge pages at several sizes. *)
+  let physical h =
+    let w = mk_workload 1 in
+    let warmup = Workload.generate w 30_000 in
+    let trace = Workload.generate w 30_000 in
+    let m =
+      Machine.create
+        { Machine.default_config with ram_pages = ram; tlb_entries = 64; huge_size = h }
+    in
+    let c = Machine.run ~warmup m trace in
+    Machine.cost ~epsilon c
+  in
+  (* The decoupled scheme. *)
+  let params = Params.derive ~p:ram ~w:64 () in
+  let w = mk_workload 1 in
+  let warmup = Workload.generate w 30_000 in
+  let trace = Workload.generate w 30_000 in
+  let x = Policy.instantiate (module Lru) ~capacity:64 () in
+  let y = Policy.instantiate (module Lru) ~capacity:(Params.usable_pages params) () in
+  let z = Simulation.create ~params ~x ~y () in
+  let r = Simulation.run ~warmup z trace in
+  let z_cost = Simulation.cost ~epsilon r in
+  List.iter
+    (fun h ->
+      let p_cost = physical h in
+      check Alcotest.bool
+        (Printf.sprintf "decoupled (%.1f) <= physical h=%d (%.1f)" z_cost h p_cost)
+        true (z_cost <= p_cost *. 1.05))
+    [ 1; 4; 16; 64; 256 ]
+
+(* Shrinking the bucket size below the theorem's bound must produce
+   failures; the theorem-sized buckets must not (failure injection). *)
+let test_bucket_size_failure_threshold () =
+  let p = 1 lsl 12 in
+  let fill params =
+    let a = Alloc.create params in
+    let budget = Params.usable_pages params in
+    for page = 0 to budget - 1 do
+      ignore (Alloc.insert a page)
+    done;
+    Alloc.failures_total a
+  in
+  let good = Params.derive ~p ~w:64 () in
+  check Alcotest.int "theorem-sized buckets: no failures" 0 (fill good);
+  (* Sabotage: bucket size 2 with one-choice must overflow immediately. *)
+  let bad =
+    { good with Params.scheme = Params.One_choice; k = 1;
+      bucket_size = 2; buckets = p / 2; tau = 2 }
+  in
+  check Alcotest.bool "tiny buckets fail" true (fill bad > 0)
+
+(* Determinism: the whole pipeline is a function of the seed. *)
+let test_pipeline_deterministic () =
+  let run () =
+    let rng = Prng.create ~seed:5 () in
+    let w = Bimodal.create ~hot_pages:128 ~virtual_pages:4096 rng in
+    let trace = Workload.generate w 5_000 in
+    let m = Machine.create (machine_config ~ram:1024 ~h:4) in
+    let c = Machine.run m trace in
+    (c.Machine.ios, c.Machine.tlb_misses)
+  in
+  let a = run () and b = run () in
+  check Alcotest.(pair int int) "identical runs" a b
+
+let () =
+  Alcotest.run "atp.integration"
+    [
+      ( "figure1",
+        [
+          Alcotest.test_case "1a bimodal shape" `Slow test_fig1a_shape;
+          Alcotest.test_case "1b graph-walk shape" `Slow test_fig1b_shape;
+          Alcotest.test_case "1c graph500 shape" `Slow test_fig1c_shape;
+        ] );
+      ( "decoupling",
+        [
+          Alcotest.test_case "beats physical huge pages" `Slow
+            test_decoupling_beats_physical_huge_pages;
+          Alcotest.test_case "bucket-size failure threshold" `Quick
+            test_bucket_size_failure_threshold;
+          Alcotest.test_case "deterministic" `Quick test_pipeline_deterministic;
+        ] );
+    ]

@@ -1,0 +1,298 @@
+(* Tests for the MMU substrate: the radix page table, the page-table
+   walker with its page-walk cache, and nested (two-dimensional)
+   translation. *)
+
+open Atp_memsim
+
+let check = Alcotest.check
+
+(* --- Page_table ------------------------------------------------------ *)
+
+let test_pt_map_lookup () =
+  let pt = Page_table.create () in
+  Page_table.map pt ~vpage:42 ~frame:7 ();
+  (match Page_table.lookup pt 42 with
+   | Some m ->
+     check Alcotest.int "frame" 7 m.Page_table.frame;
+     check Alcotest.int "level" 0 m.Page_table.level;
+     check Alcotest.bool "writable default" true m.Page_table.flags.Page_table.writable
+   | None -> Alcotest.fail "expected mapping");
+  check Alcotest.bool "absent page" true (Page_table.lookup pt 43 = None)
+
+let test_pt_unmap () =
+  let pt = Page_table.create () in
+  Page_table.map pt ~vpage:100 ~frame:1 ();
+  check Alcotest.bool "unmap present" true (Page_table.unmap pt ~vpage:100);
+  check Alcotest.bool "unmap absent" false (Page_table.unmap pt ~vpage:100);
+  check Alcotest.int "no leaves" 0 (Page_table.mapped_count pt);
+  (* Interior nodes are reclaimed. *)
+  check Alcotest.int "only the root remains" 1 (Page_table.node_count pt)
+
+let test_pt_duplicate_rejected () =
+  let pt = Page_table.create () in
+  Page_table.map pt ~vpage:5 ~frame:1 ();
+  Alcotest.check_raises "remap" (Invalid_argument "Page_table.map: range already mapped")
+    (fun () -> Page_table.map pt ~vpage:5 ~frame:2 ())
+
+let test_pt_huge_leaf () =
+  let pt = Page_table.create () in
+  (* A level-1 leaf covers 512 pages; map at vpage 512 (aligned). *)
+  Page_table.map pt ~vpage:512 ~frame:1024 ~level:1 ();
+  (match Page_table.lookup pt 600 with
+   | Some m ->
+     check Alcotest.int "covered by huge leaf" 1024 m.Page_table.frame;
+     check Alcotest.int "level 1" 1 m.Page_table.level
+   | None -> Alcotest.fail "huge leaf must cover");
+  (* Walk terminates earlier for the huge leaf than for a base page. *)
+  Page_table.map pt ~vpage:5 ~frame:1 ();
+  let _, huge_visits = Page_table.walk pt 600 in
+  let _, base_visits = Page_table.walk pt 5 in
+  check Alcotest.int "huge walk is one level shorter" (base_visits - 1)
+    huge_visits;
+  check Alcotest.int "base walk visits all levels" Page_table.levels base_visits
+
+let test_pt_huge_alignment () =
+  let pt = Page_table.create () in
+  Alcotest.check_raises "misaligned vpage"
+    (Invalid_argument "Page_table.map: virtual page not aligned to its level")
+    (fun () -> Page_table.map pt ~vpage:100 ~frame:0 ~level:1 ());
+  Alcotest.check_raises "misaligned frame"
+    (Invalid_argument "Page_table.map: frame not aligned to its level")
+    (fun () -> Page_table.map pt ~vpage:512 ~frame:100 ~level:1 ())
+
+let test_pt_overlap_rejected () =
+  let pt = Page_table.create () in
+  Page_table.map pt ~vpage:512 ~frame:0 ~level:1 ();
+  Alcotest.check_raises "base under huge"
+    (Invalid_argument "Page_table.map: range covered by a larger mapping")
+    (fun () -> Page_table.map pt ~vpage:513 ~frame:9 ());
+  let pt2 = Page_table.create () in
+  Page_table.map pt2 ~vpage:513 ~frame:9 ();
+  Alcotest.check_raises "huge over base"
+    (Invalid_argument "Page_table.map: range contains finer-grained mappings")
+    (fun () -> Page_table.map pt2 ~vpage:512 ~frame:0 ~level:1 ())
+
+let test_pt_accessed_dirty () =
+  let pt = Page_table.create () in
+  Page_table.map pt ~vpage:9 ~frame:3 ();
+  let m = Option.get (Page_table.lookup pt 9) in
+  check Alcotest.bool "not accessed yet" false m.Page_table.flags.Page_table.accessed;
+  ignore (Page_table.walk pt 9);
+  let m = Option.get (Page_table.lookup pt 9) in
+  check Alcotest.bool "accessed after walk" true m.Page_table.flags.Page_table.accessed;
+  check Alcotest.bool "set dirty" true (Page_table.set_dirty pt 9);
+  let m = Option.get (Page_table.lookup pt 9) in
+  check Alcotest.bool "dirty" true m.Page_table.flags.Page_table.dirty;
+  check Alcotest.bool "dirty on absent" false (Page_table.set_dirty pt 10)
+
+let test_pt_clear_accessed_preserves_dirty () =
+  (* Regression: CLOCK's rotation must clear only the accessed bit; a
+     version that round-tripped through set_dirty re-set accessed and
+     made dirty pages rotate forever. *)
+  let pt = Page_table.create () in
+  Page_table.map pt ~vpage:4 ~frame:1 ();
+  ignore (Page_table.walk pt 4);
+  ignore (Page_table.set_dirty pt 4);
+  check Alcotest.bool "clear works" true (Page_table.clear_accessed pt 4);
+  let m = Option.get (Page_table.lookup pt 4) in
+  check Alcotest.bool "accessed cleared" false m.Page_table.flags.Page_table.accessed;
+  check Alcotest.bool "dirty preserved" true m.Page_table.flags.Page_table.dirty;
+  check Alcotest.bool "absent page" false (Page_table.clear_accessed pt 5)
+
+let test_pt_iter_order () =
+  let pt = Page_table.create () in
+  List.iter
+    (fun (v, f) -> Page_table.map pt ~vpage:v ~frame:f ())
+    [ (1000, 1); (3, 2); (70_000, 3) ];
+  let seen = ref [] in
+  Page_table.iter (fun ~vpage _ -> seen := vpage :: !seen) pt;
+  check Alcotest.(list int) "increasing order" [ 3; 1000; 70_000 ]
+    (List.rev !seen)
+
+let prop_pt_matches_model =
+  QCheck.Test.make ~name:"page table matches Hashtbl model" ~count:100
+    QCheck.(list (pair (int_bound 5000) bool))
+    (fun ops ->
+      let pt = Page_table.create () in
+      let model = Hashtbl.create 64 in
+      List.iter
+        (fun (v, do_map) ->
+          if do_map then begin
+            if not (Hashtbl.mem model v) then begin
+              Page_table.map pt ~vpage:v ~frame:(v * 2) ();
+              Hashtbl.replace model v (v * 2)
+            end
+          end
+          else begin
+            let removed = Page_table.unmap pt ~vpage:v in
+            if removed <> Hashtbl.mem model v then failwith "unmap mismatch";
+            Hashtbl.remove model v
+          end)
+        ops;
+      Hashtbl.fold
+        (fun v f acc ->
+          acc
+          && match Page_table.lookup pt v with
+             | Some m -> m.Page_table.frame = f
+             | None -> false)
+        model true
+      && Page_table.mapped_count pt = Hashtbl.length model)
+
+(* --- Walker ----------------------------------------------------------- *)
+
+let test_walker_cost_structure () =
+  let pt = Page_table.create () in
+  Page_table.map pt ~vpage:0 ~frame:0 ();
+  let w = Walker.create pt in
+  let r1 = Walker.translate w 0 in
+  (* Cold: all four levels fetched. *)
+  check Alcotest.int "cold walk = 4 accesses" 4 r1.Walker.memory_accesses;
+  (* Warm: the PWC caches the interior path; only the PTE remains. *)
+  let r2 = Walker.translate w 0 in
+  check Alcotest.int "warm walk = 1 access" 1 r2.Walker.memory_accesses;
+  check Alcotest.bool "warm cheaper" true (r2.Walker.cycles < r1.Walker.cycles)
+
+let test_walker_huge_leaf_cheaper () =
+  let pt = Page_table.create () in
+  Page_table.map pt ~vpage:0 ~frame:0 ();
+  Page_table.map pt ~vpage:(512 * 512) ~frame:512 ~level:1 ();
+  let w = Walker.create pt in
+  let base = Walker.translate w 0 in
+  let huge = Walker.translate w (512 * 512) in
+  check Alcotest.bool "huge cold walk shorter" true
+    (huge.Walker.memory_accesses < base.Walker.memory_accesses)
+
+let test_walker_locality_via_pwc () =
+  let pt = Page_table.create () in
+  for v = 0 to 63 do
+    Page_table.map pt ~vpage:v ~frame:v ()
+  done;
+  let w = Walker.create pt in
+  ignore (Walker.translate w 0);
+  (* Neighbors share the whole interior path. *)
+  let r = Walker.translate w 1 in
+  check Alcotest.int "neighbor pays one access" 1 r.Walker.memory_accesses;
+  let s = Walker.stats w in
+  check Alcotest.int "two walks" 2 s.Walker.walks;
+  check Alcotest.int "one PWC-assisted" 1 s.Walker.pwc_hits
+
+let test_walker_invalidate () =
+  let pt = Page_table.create () in
+  Page_table.map pt ~vpage:0 ~frame:0 ();
+  let w = Walker.create pt in
+  ignore (Walker.translate w 0);
+  Walker.invalidate w;
+  let r = Walker.translate w 0 in
+  check Alcotest.int "flush restores cold cost" 4 r.Walker.memory_accesses
+
+let test_walker_epsilon () =
+  let pt = Page_table.create () in
+  Page_table.map pt ~vpage:0 ~frame:0 ();
+  let w = Walker.create pt in
+  ignore (Walker.translate w 0);
+  (* One walk of 4 accesses x 100 cycles (+ probe costs) over a
+     40,000-cycle IO: epsilon is about 0.01. *)
+  let e = Walker.epsilon w ~io_latency_cycles:40_000 in
+  check Alcotest.bool "epsilon near 0.01" true (e > 0.009 && e < 0.012)
+
+let test_walker_unmapped () =
+  let pt = Page_table.create () in
+  let w = Walker.create pt in
+  let r = Walker.translate w 12345 in
+  check Alcotest.bool "no mapping" true (r.Walker.mapping = None);
+  check Alcotest.bool "fault walk still costs" true (r.Walker.memory_accesses >= 1)
+
+(* --- Nested ------------------------------------------------------------ *)
+
+let test_nested_translates () =
+  let n = Nested.create () in
+  Nested.guest_map n ~gva:100 ~gpa:7;
+  Nested.host_map n ~gpa:7 ~hpa:99;
+  let r = Nested.translate n 100 in
+  check Alcotest.(option int) "end-to-end frame" (Some 99) r.Nested.hframe
+
+let test_nested_cost_exceeds_bare_metal () =
+  (* The headline effect: nested cold walks cost several times a bare
+     walk (up to 24 accesses vs 4 on x86). *)
+  let n = Nested.create () in
+  Nested.guest_map n ~gva:0 ~gpa:0;
+  let r = Nested.translate n 0 in
+  check Alcotest.bool
+    (Printf.sprintf "cold nested walk is expensive (%d accesses)"
+       r.Nested.memory_accesses)
+    true
+    (r.Nested.memory_accesses > Page_table.levels * 2);
+  check Alcotest.bool "bounded by the 2D worst case" true
+    (r.Nested.memory_accesses
+     <= ((Page_table.levels + 1) * (Page_table.levels + 1)) - 1)
+
+let test_nested_warm_walks_cheapen () =
+  let n = Nested.create () in
+  Nested.guest_map n ~gva:0 ~gpa:0;
+  let cold = Nested.translate n 0 in
+  let warm = Nested.translate n 0 in
+  check Alcotest.bool "host TLB + PWC help" true
+    (warm.Nested.memory_accesses < cold.Nested.memory_accesses)
+
+let test_nested_unmapped_guest () =
+  let n = Nested.create () in
+  let r = Nested.translate n 4242 in
+  check Alcotest.bool "absent guest mapping" true (r.Nested.hframe = None)
+
+let test_nested_epsilon_vs_bare () =
+  (* Random accesses over a large space: the effective epsilon under
+     virtualization must exceed the bare-metal one. *)
+  let rng = Atp_util.Prng.create ~seed:1 () in
+  let pages = Array.init 2_000 (fun _ -> Atp_util.Prng.int rng 100_000) in
+  let pt = Page_table.create () in
+  let bare = Walker.create pt in
+  let nested = Nested.create () in
+  Array.iter
+    (fun v ->
+      if Page_table.lookup pt v = None then Page_table.map pt ~vpage:v ~frame:v ();
+      ignore (Walker.translate bare v);
+      (try Nested.guest_map nested ~gva:v ~gpa:v with Invalid_argument _ -> ());
+      ignore (Nested.translate nested v))
+    pages;
+  let io = 40_000 in
+  let e_bare = Walker.epsilon bare ~io_latency_cycles:io in
+  let e_nested = Nested.epsilon nested ~io_latency_cycles:io in
+  check Alcotest.bool
+    (Printf.sprintf "nested eps (%.4f) > bare eps (%.4f)" e_nested e_bare)
+    true (e_nested > e_bare)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "atp.mmu"
+    [
+      ( "page_table",
+        Alcotest.test_case "map/lookup" `Quick test_pt_map_lookup
+        :: Alcotest.test_case "unmap" `Quick test_pt_unmap
+        :: Alcotest.test_case "duplicate" `Quick test_pt_duplicate_rejected
+        :: Alcotest.test_case "huge leaf" `Quick test_pt_huge_leaf
+        :: Alcotest.test_case "alignment" `Quick test_pt_huge_alignment
+        :: Alcotest.test_case "overlap" `Quick test_pt_overlap_rejected
+        :: Alcotest.test_case "accessed/dirty" `Quick test_pt_accessed_dirty
+        :: Alcotest.test_case "clear_accessed keeps dirty" `Quick
+             test_pt_clear_accessed_preserves_dirty
+        :: Alcotest.test_case "iter order" `Quick test_pt_iter_order
+        :: qsuite [ prop_pt_matches_model ] );
+      ( "walker",
+        [
+          Alcotest.test_case "cost structure" `Quick test_walker_cost_structure;
+          Alcotest.test_case "huge leaf cheaper" `Quick test_walker_huge_leaf_cheaper;
+          Alcotest.test_case "pwc locality" `Quick test_walker_locality_via_pwc;
+          Alcotest.test_case "invalidate" `Quick test_walker_invalidate;
+          Alcotest.test_case "epsilon" `Quick test_walker_epsilon;
+          Alcotest.test_case "unmapped" `Quick test_walker_unmapped;
+        ] );
+      ( "nested",
+        [
+          Alcotest.test_case "translates" `Quick test_nested_translates;
+          Alcotest.test_case "cold cost" `Quick test_nested_cost_exceeds_bare_metal;
+          Alcotest.test_case "warm cheapens" `Quick test_nested_warm_walks_cheapen;
+          Alcotest.test_case "unmapped guest" `Quick test_nested_unmapped_guest;
+          Alcotest.test_case "epsilon vs bare" `Quick test_nested_epsilon_vs_bare;
+        ] );
+    ]

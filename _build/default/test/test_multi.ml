@@ -1,0 +1,227 @@
+(* Tests for the ASID-tagged TLB, the L1/L2 TLB hierarchy, and the HPC
+   workload kernels. *)
+
+open Atp_tlb
+open Atp_workloads
+open Atp_util
+
+let check = Alcotest.check
+
+(* --- Asid -------------------------------------------------------------- *)
+
+let test_asid_isolation () =
+  let t = Asid.create ~entries:8 () in
+  ignore (Asid.insert t ~asid:1 100 11);
+  ignore (Asid.insert t ~asid:2 100 22);
+  check Alcotest.(option int) "asid 1 sees its own" (Some 11)
+    (Asid.lookup t ~asid:1 100);
+  check Alcotest.(option int) "asid 2 sees its own" (Some 22)
+    (Asid.lookup t ~asid:2 100);
+  check Alcotest.(option int) "asid 3 sees nothing" None
+    (Asid.lookup t ~asid:3 100)
+
+let test_asid_survives_switch () =
+  (* The whole point of ASIDs: no flush on switch. *)
+  let t = Asid.create ~entries:8 () in
+  ignore (Asid.insert t ~asid:1 5 50);
+  (* "switch" to asid 2, do work, switch back *)
+  ignore (Asid.insert t ~asid:2 6 60);
+  check Alcotest.(option int) "entry survived" (Some 50)
+    (Asid.lookup t ~asid:1 5)
+
+let test_asid_global_lru_pressure () =
+  (* A noisy neighbor can evict another process's entries. *)
+  let t = Asid.create ~entries:4 () in
+  ignore (Asid.insert t ~asid:1 0 0);
+  for v = 0 to 9 do
+    ignore (Asid.insert t ~asid:2 v v)
+  done;
+  check Alcotest.(option int) "evicted by the neighbor" None
+    (Asid.lookup t ~asid:1 0);
+  let share = Asid.per_asid_share t in
+  check Alcotest.(list (pair int int)) "asid 2 owns the TLB" [ (2, 4) ] share
+
+let test_asid_flush_asid () =
+  let t = Asid.create ~entries:8 () in
+  ignore (Asid.insert t ~asid:1 0 0);
+  ignore (Asid.insert t ~asid:1 1 1);
+  ignore (Asid.insert t ~asid:2 0 0);
+  check Alcotest.int "dropped two" 2 (Asid.flush_asid t 1);
+  check Alcotest.(option int) "asid 1 gone" None (Asid.lookup t ~asid:1 0);
+  check Alcotest.(option int) "asid 2 intact" (Some 0) (Asid.lookup t ~asid:2 0)
+
+let test_asid_vs_flush_miss_rates () =
+  (* Two processes round-robin over modest working sets that together
+     fit in the TLB: with ASIDs, steady state has no misses; with
+     flush-on-switch, every switch rebuilds. *)
+  let entries = 64 in
+  let work asid t flush =
+    if flush then Asid.flush_all t;
+    for v = 0 to 15 do
+      match Asid.lookup t ~asid v with
+      | Some _ -> ()
+      | None -> ignore (Asid.insert t ~asid v v)
+    done
+  in
+  let run flush =
+    let t = Asid.create ~entries () in
+    for _ = 1 to 50 do
+      work 1 t flush;
+      work 2 t flush
+    done;
+    (Asid.stats t).Tlb.misses
+  in
+  let with_asid = run false and with_flush = run true in
+  check Alcotest.int "asid: only compulsory misses" 32 with_asid;
+  check Alcotest.bool
+    (Printf.sprintf "flushing costs much more (%d vs %d)" with_flush with_asid)
+    true
+    (with_flush > 10 * with_asid)
+
+let test_asid_bounds () =
+  let t = Asid.create ~asid_bits:4 ~entries:4 () in
+  check Alcotest.int "max asid" 15 (Asid.max_asid t);
+  Alcotest.check_raises "asid out of range"
+    (Invalid_argument "Asid: asid out of range") (fun () ->
+      ignore (Asid.lookup t ~asid:16 0))
+
+(* --- Hierarchy ----------------------------------------------------------- *)
+
+let test_hierarchy_levels () =
+  let t = Hierarchy.create () in
+  (match Hierarchy.lookup t 1 with
+   | None, Hierarchy.Miss cycles ->
+     check Alcotest.int "miss probes both" 8 cycles
+   | _ -> Alcotest.fail "expected a miss");
+  Hierarchy.insert t 1 10;
+  (match Hierarchy.lookup t 1 with
+   | Some 10, Hierarchy.L1_hit cycles -> check Alcotest.int "l1 fast" 1 cycles
+   | _ -> Alcotest.fail "expected an L1 hit")
+
+let test_hierarchy_l2_backstop () =
+  (* Overflow L1 (64 entries): older entries still hit in L2 and are
+     refilled into L1. *)
+  let t = Hierarchy.create () in
+  for v = 0 to 99 do Hierarchy.insert t v v done;
+  (match Hierarchy.lookup t 0 with
+   | Some 0, Hierarchy.L2_hit cycles -> check Alcotest.int "l2 latency" 8 cycles
+   | _ -> Alcotest.fail "expected an L2 hit");
+  (* Now it is back in L1. *)
+  match Hierarchy.lookup t 0 with
+  | Some 0, Hierarchy.L1_hit _ -> ()
+  | _ -> Alcotest.fail "expected an L1 refill hit"
+
+let test_hierarchy_invalidate_both () =
+  let t = Hierarchy.create () in
+  Hierarchy.insert t 7 70;
+  check Alcotest.bool "shot down" true (Hierarchy.invalidate t 7);
+  match Hierarchy.lookup t 7 with
+  | None, _ -> ()
+  | Some _, _ -> Alcotest.fail "survived shootdown"
+
+let test_hierarchy_average_latency () =
+  let t = Hierarchy.create () in
+  Hierarchy.insert t 1 1;
+  ignore (Hierarchy.lookup t 1);
+  ignore (Hierarchy.lookup t 2);
+  (* 1 cycle + 8 cycles over two lookups. *)
+  check (Alcotest.float 1e-9) "average" 4.5 (Hierarchy.average_latency t)
+
+(* --- HPC workloads --------------------------------------------------------- *)
+
+let test_gups_uniformish () =
+  let rng = Prng.create ~seed:1 () in
+  let w = Hpc.gups ~table_pages:64 rng in
+  let trace = Workload.generate w 64_000 in
+  let counts = Array.make 64 0 in
+  Array.iter (fun p -> counts.(p) <- counts.(p) + 1) trace;
+  Array.iteri
+    (fun i c ->
+      check Alcotest.bool
+        (Printf.sprintf "page %d near uniform (%d)" i c)
+        true
+        (c > 700 && c < 1300))
+    counts
+
+let test_stencil_locality () =
+  let w = Hpc.stencil ~rows:64 ~cols:512 () in
+  (* 512 cols x 8 bytes = one page per row: N/S are +-1 page, W/C/E the
+     same page. *)
+  let trace = Workload.generate w 5 in
+  check Alcotest.(array int) "first cell touches rows 0,1,1,1,2"
+    [| 0; 1; 1; 1; 2 |] trace;
+  (* All pages within the grid. *)
+  let trace = Workload.generate w 10_000 in
+  Array.iter
+    (fun p ->
+      check Alcotest.bool "page in grid" true (p >= 0 && p < w.Workload.virtual_pages))
+    trace
+
+let test_multistream_pattern () =
+  let w = Hpc.multistream ~streams:2 ~virtual_pages:100 () in
+  let trace = Workload.generate w 6 in
+  (* Streams at partitions [0,50) and [50,100), interleaved. *)
+  check Alcotest.(array int) "interleaved fronts" [| 0; 50; 1; 51; 2; 52 |] trace
+
+let test_multistream_wraps () =
+  let w = Hpc.multistream ~streams:4 ~virtual_pages:16 () in
+  let trace = Workload.generate w 64 in
+  Array.iter
+    (fun p -> check Alcotest.bool "in space" true (p >= 0 && p < 16))
+    trace
+
+let test_pointer_chase_cycle () =
+  let rng = Prng.create ~seed:2 () in
+  let w = Hpc.pointer_chase ~working_set:50 ~virtual_pages:1000 rng in
+  let trace = Workload.generate w 100 in
+  (* One full cycle visits each member exactly once. *)
+  let first_cycle = Array.sub trace 0 50 in
+  let sorted = Array.copy first_cycle in
+  Array.sort compare sorted;
+  let distinct =
+    Array.length (Array.of_list (List.sort_uniq compare (Array.to_list first_cycle)))
+  in
+  check Alcotest.int "50 distinct pages per lap" 50 distinct;
+  (* The second lap repeats the first. *)
+  check Alcotest.(array int) "periodic" first_cycle (Array.sub trace 50 50)
+
+let test_pointer_chase_defeats_small_tlb () =
+  (* Classic result: a chase over more pages than TLB entries misses
+     every access under LRU. *)
+  let rng = Prng.create ~seed:3 () in
+  let w = Hpc.pointer_chase ~working_set:100 ~virtual_pages:100 rng in
+  let trace = Workload.generate w 1_000 in
+  let inst = Atp_paging.Policy.instantiate (module Atp_paging.Lru) ~capacity:99 () in
+  let stats = Atp_paging.Sim.run inst trace in
+  check Alcotest.int "misses everything" 1_000 stats.Atp_paging.Sim.misses
+
+let () =
+  Alcotest.run "atp.multi"
+    [
+      ( "asid",
+        [
+          Alcotest.test_case "isolation" `Quick test_asid_isolation;
+          Alcotest.test_case "survives switch" `Quick test_asid_survives_switch;
+          Alcotest.test_case "global LRU pressure" `Quick test_asid_global_lru_pressure;
+          Alcotest.test_case "flush one asid" `Quick test_asid_flush_asid;
+          Alcotest.test_case "asid vs flush" `Quick test_asid_vs_flush_miss_rates;
+          Alcotest.test_case "bounds" `Quick test_asid_bounds;
+        ] );
+      ( "hierarchy",
+        [
+          Alcotest.test_case "levels" `Quick test_hierarchy_levels;
+          Alcotest.test_case "l2 backstop" `Quick test_hierarchy_l2_backstop;
+          Alcotest.test_case "invalidate both" `Quick test_hierarchy_invalidate_both;
+          Alcotest.test_case "average latency" `Quick test_hierarchy_average_latency;
+        ] );
+      ( "hpc",
+        [
+          Alcotest.test_case "gups uniform" `Quick test_gups_uniformish;
+          Alcotest.test_case "stencil locality" `Quick test_stencil_locality;
+          Alcotest.test_case "multistream pattern" `Quick test_multistream_pattern;
+          Alcotest.test_case "multistream wraps" `Quick test_multistream_wraps;
+          Alcotest.test_case "pointer chase cycle" `Quick test_pointer_chase_cycle;
+          Alcotest.test_case "chase defeats small TLB" `Quick
+            test_pointer_chase_defeats_small_tlb;
+        ] );
+    ]

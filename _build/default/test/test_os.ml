@@ -1,0 +1,197 @@
+(* Tests for the OS-level models: transparent huge pages (THP) and the
+   multi-core TLB-shootdown machine (SMP). *)
+
+open Atp_memsim
+open Atp_workloads
+open Atp_util
+
+let check = Alcotest.check
+
+let thp_config ~ram ~h =
+  {
+    Thp.default_config with
+    ram_pages = ram;
+    base_tlb_entries = 64;
+    huge_tlb_entries = 8;
+    huge_size = h;
+  }
+
+(* --- THP ------------------------------------------------------------- *)
+
+let test_thp_base_faulting () =
+  let t = Thp.create (thp_config ~ram:1024 ~h:16) in
+  for v = 0 to 9 do Thp.access t v done;
+  let c = Thp.counters t in
+  check Alcotest.int "one IO per base fault" 10 c.Thp.ios;
+  check Alcotest.int "faults" 10 c.Thp.faults;
+  check Alcotest.int "no promotion below threshold" 0 c.Thp.promotions;
+  check Alcotest.int "resident" 10 (Thp.resident_pages t)
+
+let test_thp_promotes_dense_region () =
+  let t = Thp.create (thp_config ~ram:1024 ~h:16) in
+  (* Touch 15 of 16 pages: 15 >= ceil(0.9 * 16) = 15, so the region
+     promotes, fetching the missing page. *)
+  for v = 0 to 14 do Thp.access t v done;
+  let c = Thp.counters t in
+  check Alcotest.int "promoted" 1 c.Thp.promotions;
+  check Alcotest.int "fill IO for the missing page" 1 c.Thp.promotion_fill_ios;
+  check Alcotest.int "total IOs = 15 faults + 1 fill" 16 c.Thp.ios;
+  check Alcotest.int "whole region resident" 16 (Thp.resident_pages t);
+  check Alcotest.int "one huge region" 1 (Thp.promoted_regions t);
+  (* Accesses across the region now hit the huge TLB entry. *)
+  Thp.reset_counters t;
+  for v = 0 to 15 do Thp.access t v done;
+  let c = Thp.counters t in
+  check Alcotest.int "no further IOs" 0 c.Thp.ios;
+  check Alcotest.int "no TLB misses on promoted region" 0 c.Thp.tlb_misses
+
+let test_thp_huge_eviction_is_indivisible () =
+  (* RAM of exactly 2 huge regions; promote one, then flood with base
+     pages from elsewhere: the promoted region eventually goes as one
+     unit. *)
+  let t = Thp.create (thp_config ~ram:32 ~h:16) in
+  for v = 0 to 15 do Thp.access t v done;
+  let c = Thp.counters t in
+  check Alcotest.int "promoted" 1 c.Thp.promotions;
+  (* 17+ distinct cold base pages force eviction pressure. *)
+  for v = 1000 to 1031 do Thp.access t v done;
+  let c = Thp.counters t in
+  check Alcotest.bool "huge region evicted whole" true (c.Thp.huge_evictions >= 1);
+  check Alcotest.bool "RAM never overcommitted" true
+    (Thp.resident_pages t <= 32)
+
+let test_thp_fragmentation_blocks_promotion () =
+  (* Fill RAM with scattered base pages so no aligned block exists,
+     with a zero compaction budget: promotion must fail gracefully and
+     the pages stay resident as base pages. *)
+  let cfg =
+    { (thp_config ~ram:64 ~h:16) with Thp.max_compaction_evictions = 0 }
+  in
+  let t = Thp.create cfg in
+  (* Occupy all frames with pages from many different regions (one per
+     region, so nothing promotes). *)
+  for r = 0 to 63 do Thp.access t (r * 16) done;
+  check Alcotest.int "RAM full of singletons" 64 (Thp.resident_pages t);
+  (* Now make one region dense: its promotion needs a contiguous block
+     that a zero budget cannot create.  15 of its pages evict 15
+     singletons (LRU), but frames are scattered. *)
+  for v = 0 to 14 do Thp.access t v done;
+  let c = Thp.counters t in
+  check Alcotest.int "no promotion happened" 0 c.Thp.promotions;
+  check Alcotest.bool "region pages still resident as base pages" true
+    (Thp.resident_pages t <= 64)
+
+let test_thp_vs_decoupled_shape () =
+  (* The qualitative claim: on a bimodal workload THP pays promotion
+     fills and huge-eviction refaults that the decoupled scheme never
+     pays. *)
+  let rng = Prng.create ~seed:5 () in
+  let w =
+    Bimodal.create ~hot_fraction:0.995 ~hot_pages:512 ~virtual_pages:(1 lsl 16)
+      rng
+  in
+  let warmup = Workload.generate w 40_000 in
+  let trace = Workload.generate w 40_000 in
+  let t = Thp.create (thp_config ~ram:2048 ~h:64) in
+  let c = Thp.run ~warmup t trace in
+  check Alcotest.bool "THP promoted something during the run" true
+    (c.Thp.promotions + (Thp.promoted_regions t) > 0);
+  check Alcotest.bool "THP paid IOs" true (c.Thp.ios > 0)
+
+(* --- SMP -------------------------------------------------------------- *)
+
+let smp_config ~cores ~ram ~tlb =
+  { Smp.default_config with cores; ram_pages = ram; tlb_entries_per_core = tlb }
+
+let test_smp_basic_counts () =
+  let t = Smp.create (smp_config ~cores:2 ~ram:64 ~tlb:16) in
+  Smp.access t ~core:0 5;
+  Smp.access t ~core:0 5;
+  Smp.access t ~core:1 5;
+  let c = Smp.counters t in
+  check Alcotest.int "accesses" 3 c.Smp.accesses;
+  (* Core 0 misses once; core 1 has its own TLB and misses too. *)
+  check Alcotest.int "per-core TLB misses" 2 c.Smp.tlb_misses;
+  check Alcotest.int "but only one IO (shared RAM)" 1 c.Smp.ios
+
+let test_smp_shootdown_on_eviction () =
+  (* RAM of 2 pages, both cores touch page 0; filling two more pages
+     evicts 0 and must invalidate it on both cores. *)
+  let t = Smp.create (smp_config ~cores:2 ~ram:2 ~tlb:16) in
+  Smp.access t ~core:0 0;
+  Smp.access t ~core:1 0;
+  Smp.access t ~core:0 1;
+  Smp.access t ~core:0 2;
+  (* evicts page 0 *)
+  let c = Smp.counters t in
+  check Alcotest.bool "a shootdown happened" true (c.Smp.shootdown_events >= 1);
+  (* Core 0 initiated the eviction, so only core 1's invalidation is a
+     remote IPI. *)
+  check Alcotest.bool "the remote core received an IPI" true (c.Smp.ipis >= 1);
+  (* Page 0 must re-fault on both cores. *)
+  Smp.reset_counters t;
+  Smp.access t ~core:0 0;
+  Smp.access t ~core:1 0;
+  let c = Smp.counters t in
+  check Alcotest.int "both cores miss again" 2 c.Smp.tlb_misses
+
+let test_smp_bad_core_rejected () =
+  let t = Smp.create (smp_config ~cores:2 ~ram:16 ~tlb:4) in
+  Alcotest.check_raises "core out of range" (Invalid_argument "Smp.access: bad core")
+    (fun () -> Smp.access t ~core:2 0)
+
+let test_smp_partitioned_less_shootdown () =
+  (* Shared round-robin traffic invalidates across cores; partitioned
+     traffic keeps each page on one core, so shootdown IPIs drop. *)
+  (* TLBs must be large relative to RAM so that eviction victims are
+     actually cached somewhere — otherwise no shootdowns arise. *)
+  let rng = Prng.create ~seed:9 () in
+  let trace = Array.init 60_000 (fun _ -> Prng.int rng 512) in
+  let run f =
+    let t = Smp.create (smp_config ~cores:4 ~ram:256 ~tlb:512) in
+    f t trace
+  in
+  let shared = run (fun t tr -> Smp.run_shared t tr) in
+  let partitioned = run (fun t tr -> Smp.run_partitioned t tr) in
+  check Alcotest.bool
+    (Printf.sprintf "partitioned ipis (%d) < shared ipis (%d)"
+       partitioned.Smp.ipis shared.Smp.ipis)
+    true
+    (partitioned.Smp.ipis < shared.Smp.ipis);
+  (* The RAM policy only sees TLB-missing accesses, so IO counts may
+     differ between sharding modes; both runs still do real paging. *)
+  check Alcotest.bool "both modes page" true
+    (shared.Smp.ios > 0 && partitioned.Smp.ios > 0)
+
+let test_smp_cost_model () =
+  let cfg = smp_config ~cores:2 ~ram:16 ~tlb:4 in
+  let c =
+    { Smp.accesses = 10; tlb_misses = 4; ios = 2; shootdown_events = 1; ipis = 3 }
+  in
+  check (Alcotest.float 1e-9) "cost formula"
+    (2.0 +. (0.01 *. 4.0) +. (0.01 *. 3.0))
+    (Smp.cost cfg c)
+
+let () =
+  Alcotest.run "atp.os"
+    [
+      ( "thp",
+        [
+          Alcotest.test_case "base faulting" `Quick test_thp_base_faulting;
+          Alcotest.test_case "promotes dense region" `Quick test_thp_promotes_dense_region;
+          Alcotest.test_case "huge eviction indivisible" `Quick
+            test_thp_huge_eviction_is_indivisible;
+          Alcotest.test_case "fragmentation blocks promotion" `Quick
+            test_thp_fragmentation_blocks_promotion;
+          Alcotest.test_case "bimodal shape" `Quick test_thp_vs_decoupled_shape;
+        ] );
+      ( "smp",
+        [
+          Alcotest.test_case "basic counts" `Quick test_smp_basic_counts;
+          Alcotest.test_case "shootdown on eviction" `Quick test_smp_shootdown_on_eviction;
+          Alcotest.test_case "bad core" `Quick test_smp_bad_core_rejected;
+          Alcotest.test_case "partitioned fewer IPIs" `Quick
+            test_smp_partitioned_less_shootdown;
+          Alcotest.test_case "cost model" `Quick test_smp_cost_model;
+        ] );
+    ]

@@ -1,0 +1,177 @@
+(* Tests for the unified scheme interface, Vöcking's always-go-left
+   strategy, and the embedding-lookup workload. *)
+
+open Atp_core
+open Atp_ballsbins
+open Atp_workloads
+open Atp_util
+
+let check = Alcotest.check
+
+(* --- Scheme ------------------------------------------------------------- *)
+
+let bimodal_trace seed n =
+  let rng = Prng.create ~seed () in
+  Workload.generate
+    (Bimodal.create ~hot_fraction:0.999 ~hot_pages:256 ~virtual_pages:(1 lsl 15) rng)
+    n
+
+let test_scheme_physical_matches_machine () =
+  let trace = bimodal_trace 1 20_000 in
+  let scheme =
+    Scheme.run (Scheme.physical ~tlb_entries:64 ~ram_pages:2048 ~huge_size:8 ()) trace
+  in
+  let m =
+    Atp_memsim.Machine.create
+      { Atp_memsim.Machine.default_config with
+        ram_pages = 2048; tlb_entries = 64; huge_size = 8 }
+  in
+  let c = Atp_memsim.Machine.run m trace in
+  check Alcotest.int "same ios" c.Atp_memsim.Machine.ios (scheme.Scheme.ios ());
+  check Alcotest.int "same tlb" c.Atp_memsim.Machine.tlb_misses
+    (scheme.Scheme.tlb_events ())
+
+let test_scheme_decoupled_counts () =
+  let trace = bimodal_trace 2 20_000 in
+  let scheme =
+    Scheme.run (Scheme.decoupled ~tlb_entries:64 ~ram_pages:2048 ~w:64 ()) trace
+  in
+  check Alcotest.bool "did IOs" true (scheme.Scheme.ios () > 0);
+  check Alcotest.bool "cost positive" true (Scheme.cost ~epsilon:0.01 scheme > 0.0)
+
+let test_scheme_reset_via_run () =
+  let trace = bimodal_trace 3 5_000 in
+  let warmup = bimodal_trace 3 5_000 in
+  let scheme = Scheme.physical ~tlb_entries:64 ~ram_pages:2048 ~huge_size:1 () in
+  let scheme = Scheme.run ~warmup scheme trace in
+  (* Counters reflect only the measured trace. *)
+  check Alcotest.bool "warmup not counted" true
+    (scheme.Scheme.tlb_events () <= Array.length trace)
+
+let test_scheme_compare_all () =
+  let ram = 2048 in
+  let trace = bimodal_trace 4 30_000 in
+  let warmup = bimodal_trace 4 30_000 in
+  let rows =
+    Scheme.compare_all ~warmup ~epsilon:0.01
+      [
+        Scheme.physical ~tlb_entries:64 ~ram_pages:ram ~huge_size:1 ();
+        Scheme.physical ~tlb_entries:64 ~ram_pages:ram ~huge_size:64 ();
+        Scheme.thp ~base_tlb_entries:64 ~huge_tlb_entries:8 ~ram_pages:ram
+          ~huge_size:64 ();
+        Scheme.superpage ~base_tlb_entries:64 ~huge_tlb_entries:8 ~ram_pages:ram
+          ~huge_size:64 ();
+        Scheme.decoupled ~tlb_entries:64 ~ram_pages:ram ~w:64 ();
+        Scheme.hybrid ~tlb_entries:64 ~ram_pages:ram ~chunk:4 ~w:64 ();
+      ]
+      trace
+  in
+  check Alcotest.int "six rows" 6 (List.length rows);
+  List.iter
+    (fun (name, ios, tlb, cost) ->
+      check Alcotest.bool (name ^ ": cost consistent") true
+        (cost >= float_of_int ios && ios >= 0 && tlb >= 0))
+    rows;
+  (* The decoupled scheme must beat physical-64 on this workload at
+     eps = 0.01 (the paper's headline). *)
+  let cost_of prefix =
+    List.find_map
+      (fun (name, _, _, cost) ->
+        if String.length name >= String.length prefix
+           && String.sub name 0 (String.length prefix) = prefix
+        then Some cost
+        else None)
+      rows
+  in
+  let z = Option.get (cost_of "decoupled") in
+  let p64 = Option.get (cost_of "physical-64") in
+  check Alcotest.bool
+    (Printf.sprintf "decoupled (%.1f) beats physical-64 (%.1f)" z p64)
+    true (z < p64)
+
+(* --- Always-go-left -------------------------------------------------------- *)
+
+let test_left_greedy_validates () =
+  let rng = Prng.create ~seed:5 () in
+  Alcotest.check_raises "indivisible"
+    (Invalid_argument "Strategy.left_greedy: bins must be divisible by d")
+    (fun () -> ignore (Strategy.left_greedy rng ~d:3 ~bins:16))
+
+let test_left_greedy_groups () =
+  let rng = Prng.create ~seed:6 () in
+  let bins = 16 in
+  let s = Strategy.left_greedy rng ~d:2 ~bins in
+  let g = Game.create ~bins () in
+  (* With empty bins, ties go left: every ball lands in group 0. *)
+  for ball = 0 to 49 do
+    let p = s.Strategy.choose g ball in
+    check Alcotest.bool "leftmost on tie" true (p.Strategy.bin < bins / 2);
+    (* Don't place: keep all loads zero so ties persist. *)
+    ignore p
+  done
+
+let test_left_greedy_balances () =
+  let rng = Prng.create ~seed:7 () in
+  let bins = 1024 in
+  let s = Strategy.left_greedy rng ~d:2 ~bins in
+  let g = Game.create ~bins () in
+  let r =
+    Runner.run ~game:g ~strategy:s (Adversary.arrivals ~m:(8 * bins))
+  in
+  (* Two-choice behaviour: max load stays near the average. *)
+  check Alcotest.bool
+    (Printf.sprintf "max load small (%d)" r.Runner.max_load_final)
+    true
+    (r.Runner.max_load_final <= 8 + 4)
+
+(* --- Embedding workload ------------------------------------------------------ *)
+
+let test_embedding_vectors_contiguous () =
+  let rng = Prng.create ~seed:8 () in
+  let w = Hpc.embedding_lookup ~batch:2 ~vector_pages:3 ~rows:100 rng in
+  let trace = Workload.generate w 6 in
+  (* Pages come in runs of 3 consecutive pages, aligned to vectors. *)
+  for i = 0 to 1 do
+    let base = trace.(i * 3) in
+    check Alcotest.int "vector aligned" 0 (base mod 3);
+    check Alcotest.int "second page" (base + 1) trace.((i * 3) + 1);
+    check Alcotest.int "third page" (base + 2) trace.((i * 3) + 2)
+  done
+
+let test_embedding_skew () =
+  let rng = Prng.create ~seed:9 () in
+  let w = Hpc.embedding_lookup ~batch:8 ~vector_pages:1 ~rows:10_000 rng in
+  let trace = Workload.generate w 50_000 in
+  (* Zipf rows: the head row absorbs a macroscopic share of accesses. *)
+  let head_hits =
+    Array.fold_left (fun acc p -> if p = 0 then acc + 1 else acc) 0 trace
+  in
+  check Alcotest.bool
+    (Printf.sprintf "head row hot (%d of 50k)" head_hits)
+    true (head_hits > 2_000);
+  Array.iter
+    (fun p -> check Alcotest.bool "in table" true (p >= 0 && p < 10_000))
+    trace
+
+let () =
+  Alcotest.run "atp.scheme"
+    [
+      ( "scheme",
+        [
+          Alcotest.test_case "physical = machine" `Quick test_scheme_physical_matches_machine;
+          Alcotest.test_case "decoupled counts" `Quick test_scheme_decoupled_counts;
+          Alcotest.test_case "reset via run" `Quick test_scheme_reset_via_run;
+          Alcotest.test_case "compare all" `Quick test_scheme_compare_all;
+        ] );
+      ( "left-greedy",
+        [
+          Alcotest.test_case "validates" `Quick test_left_greedy_validates;
+          Alcotest.test_case "ties go left" `Quick test_left_greedy_groups;
+          Alcotest.test_case "balances" `Quick test_left_greedy_balances;
+        ] );
+      ( "embedding",
+        [
+          Alcotest.test_case "contiguous vectors" `Quick test_embedding_vectors_contiguous;
+          Alcotest.test_case "skew" `Quick test_embedding_skew;
+        ] );
+    ]
