@@ -20,6 +20,7 @@ open Atp_memsim
 open Atp_paging
 open Atp_workloads
 open Atp_util
+module Obs = Atp_obs
 
 let quick = Array.exists (String.equal "--quick") Sys.argv
 
@@ -45,19 +46,30 @@ let figure_sweep ~name ~ram ~tlb_entries ~warmup ~trace () =
     (Printf.sprintf "%s — IOs and TLB misses vs huge-page size h (RAM %d pages, TLB %d)"
        name ram tlb_entries);
   Printf.printf "%8s %14s %14s %14s\n" "h" "IOs" "TLB misses" "cost(e=0.01)";
+  (* One registry self-reports the whole sweep.  Machines are created
+     serially — metric registration mutates the shared registry — and
+     only then run in parallel, each touching its own counters. *)
+  let reg = Obs.Registry.create () in
+  let machines =
+    List.filter_map
+      (fun h ->
+        (* Quick-mode RAM can be smaller than the largest huge page;
+           skip sizes that don't fit. *)
+        if h > ram then None
+        else
+          let m =
+            Machine.create
+              ~obs:(Obs.Scope.v ~prefix:(Printf.sprintf "machine.h%d" h) reg)
+              { Machine.default_config with
+                ram_pages = ram; tlb_entries; huge_size = h; epsilon }
+          in
+          Some (h, m))
+      huge_sizes
+  in
   (* Each h gets its own machine; the trace arrays are read-only, so
      the sweep runs one domain per h. *)
   let rows =
-    Parallel.map
-      (fun h ->
-        let m =
-          Machine.create
-            { Machine.default_config with
-              ram_pages = ram; tlb_entries; huge_size = h; epsilon }
-        in
-        let c = Machine.run ~warmup m trace in
-        (h, c))
-      huge_sizes
+    Parallel.map (fun (h, m) -> (h, Machine.run ~warmup m trace)) machines
   in
   List.iter
     (fun (h, c) ->
@@ -70,7 +82,7 @@ let figure_sweep ~name ~ram ~tlb_entries ~warmup ~trace () =
   let y =
     Policy.instantiate (module Lru) ~capacity:(Params.usable_pages params) ()
   in
-  let z = Simulation.create ~params ~x ~y () in
+  let z = Simulation.create ~obs:(Obs.Scope.v ~prefix:"sim" reg) ~params ~x ~y () in
   let r = Simulation.run ~warmup z trace in
   Printf.printf "%8s %14d %14d %14.1f   <- decoupled (h_max=%d)\n" "Z"
     r.Simulation.ios r.Simulation.tlb_fills
@@ -84,7 +96,10 @@ let figure_sweep ~name ~ram ~tlb_entries ~warmup ~trace () =
     (float_of_int last.Machine.tlb_misses
      /. float_of_int (max 1 first.Machine.tlb_misses))
     (float_of_int first.Machine.tlb_misses
-     /. float_of_int (max 1 first.Machine.ios))
+     /. float_of_int (max 1 first.Machine.ios));
+  (* Self-report: the measured window's cost model in one snapshot. *)
+  Printf.printf "obs snapshot (measured window):\n%s\n"
+    (Format.asprintf "%a" Obs.Registry.pp reg)
 
 let fig1a () =
   let rng = Prng.create ~seed:100 () in

@@ -102,6 +102,51 @@ let trace_file_arg =
     & info [ "trace-file" ] ~docv:"PATH"
         ~doc:"Replay a recorded trace file instead of a synthetic workload.")
 
+(* ------------------------------------------------------------------ *)
+(* Observability export                                                *)
+(* ------------------------------------------------------------------ *)
+
+module Obs = Atp_obs
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"PATH"
+        ~doc:
+          "Write the run's atp.obs metrics snapshot (counters, gauges, \
+           histograms) as JSON to $(docv).")
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"PATH"
+        ~doc:
+          "Enable event tracing and write the retained ring of events as \
+           JSONL to $(docv).")
+
+let trace_capacity_arg =
+  Arg.(
+    value & opt int 65536
+    & info [ "trace-capacity" ] ~docv:"N"
+        ~doc:"Ring-buffer capacity (most recent events kept) for --trace.")
+
+(* One registry per run; tracing only costs when --trace asked for it. *)
+let mk_registry ~trace_out ~trace_capacity =
+  let trace =
+    match trace_out with
+    | Some _ -> Obs.Trace.create ~capacity:trace_capacity
+    | None -> Obs.Trace.disabled
+  in
+  Obs.Registry.create ~trace ()
+
+let export_obs reg ~metrics ~trace_out =
+  Option.iter (fun path -> Obs.Registry.write_metrics path reg) metrics;
+  Option.iter
+    (fun path -> Obs.Trace.write_jsonl path (Obs.Registry.trace reg))
+    trace_out
+
 let mk_synthetic_workload kind ~vpages ~seed =
   let rng = Prng.create ~seed () in
   match kind with
@@ -153,7 +198,9 @@ let params_cmd =
 (* ------------------------------------------------------------------ *)
 
 let sweep_cmd =
-  let run workload vpages ram tlb epsilon accesses warmup seed trace_file =
+  let run workload vpages ram tlb epsilon accesses warmup seed trace_file
+      metrics trace_out trace_capacity =
+    let reg = mk_registry ~trace_out ~trace_capacity in
     Format.printf "%8s %14s %14s %14s@." "h" "IOs" "TLB misses"
       (Printf.sprintf "cost(e=%g)" epsilon);
     List.iter
@@ -163,6 +210,7 @@ let sweep_cmd =
         let trace = Workload.generate w accesses in
         let m =
           Machine.create
+            ~obs:(Obs.Scope.v ~prefix:(Printf.sprintf "machine.h%d" h) reg)
             { Machine.default_config with
               ram_pages = ram; tlb_entries = tlb; huge_size = h; epsilon }
         in
@@ -170,21 +218,25 @@ let sweep_cmd =
         Format.printf "%8d %14d %14d %14.1f@." h c.Machine.ios
           c.Machine.tlb_misses
           (Machine.cost ~epsilon c))
-      [ 1; 2; 4; 8; 16; 32; 64; 128; 256; 512; 1024 ]
+      [ 1; 2; 4; 8; 16; 32; 64; 128; 256; 512; 1024 ];
+    export_obs reg ~metrics ~trace_out
   in
   Cmd.v
     (Cmd.info "sweep"
        ~doc:"Huge-page-size sweep (the Figure 1 experiment) on a workload.")
     Term.(
       const run $ workload_arg $ vpages_arg $ ram_arg $ tlb_arg $ epsilon_arg
-      $ accesses_arg $ warmup_arg $ seed_arg $ trace_file_arg)
+      $ accesses_arg $ warmup_arg $ seed_arg $ trace_file_arg $ metrics_arg
+      $ trace_out_arg $ trace_capacity_arg)
 
 (* ------------------------------------------------------------------ *)
 (* decoupled                                                           *)
 (* ------------------------------------------------------------------ *)
 
 let decoupled_cmd =
-  let run workload vpages ram tlb epsilon accesses warmup seed w scheme xp yp =
+  let run workload vpages ram tlb epsilon accesses warmup seed w scheme xp yp
+      metrics trace_out trace_capacity =
+    let reg = mk_registry ~trace_out ~trace_capacity in
     let params = Params.derive ~scheme:(scheme_of scheme) ~p:ram ~w () in
     Format.printf "%a@.@." Params.pp params;
     let wl = mk_workload workload ~vpages ~seed in
@@ -199,13 +251,17 @@ let decoupled_cmd =
       Policy.instantiate (Registry.find_exn yp) ~rng:(Prng.split rng)
         ~capacity:(Params.usable_pages params) ()
     in
-    let z = Simulation.create ~seed ~params ~x ~y () in
+    let z =
+      Simulation.create ~seed ~obs:(Obs.Scope.v ~prefix:"sim" reg) ~params ~x
+        ~y ()
+    in
     let r = Simulation.run ~warmup:warmup_trace z trace in
     Format.printf "%a@." Simulation.pp_report r;
     Format.printf "C(Z) = %.2f   C_TLB(X) = %.2f   C_IO(Y) = %.2f@."
       (Simulation.cost ~epsilon r)
       (Simulation.c_tlb ~epsilon r)
-      (Simulation.c_io r)
+      (Simulation.c_io r);
+    export_obs reg ~metrics ~trace_out
   in
   Cmd.v
     (Cmd.info "decoupled"
@@ -218,7 +274,8 @@ let decoupled_cmd =
       $ policy_arg ~name:"x-policy" ~default:"lru"
           ~doc:"TLB-replacement policy (X)."
       $ policy_arg ~name:"y-policy" ~default:"lru"
-          ~doc:"RAM-replacement policy (Y).")
+          ~doc:"RAM-replacement policy (Y)."
+      $ metrics_arg $ trace_out_arg $ trace_capacity_arg)
 
 (* ------------------------------------------------------------------ *)
 (* policies                                                            *)

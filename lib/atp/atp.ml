@@ -2,6 +2,8 @@
     reaches every library in the project.
 
     - {!Util}: PRNG, hashing, bit-packed arrays, samplers, statistics.
+    - {!Obs}: the observability layer — metric registry, counters,
+      histograms, ring-buffer event tracing, JSON export.
     - {!Paging}: replacement policies, OPT, simulation, miss-ratio
       curves, competitive analysis.
     - {!Ballsbins}: the dynamic balls-and-bins laboratory and the
@@ -15,6 +17,7 @@
       trace IO. *)
 
 module Util = Atp_util
+module Obs = Atp_obs
 module Paging = Atp_paging
 module Ballsbins = Atp_ballsbins
 module Tlb = Atp_tlb

@@ -1,4 +1,5 @@
 open Atp_paging
+module Obs = Atp_obs
 
 type report = {
   accesses : int;
@@ -22,14 +23,17 @@ type t = {
   x : Policy.instance;
   y : Policy.instance;
   h_max : int;
-  mutable accesses : int;
-  mutable ios : int;
-  mutable tlb_fills : int;
-  mutable decoding_misses : int;
   failures_at_reset : int ref;
+  tr : Obs.Trace.t;
+  c_accesses : Obs.Counter.t;
+  c_ios : Obs.Counter.t;
+  c_tlb_fills : Obs.Counter.t;
+  c_decoding_misses : Obs.Counter.t;
+  c_psi_updates : Obs.Counter.t;
+  g_max_bucket_load : Obs.Gauge.t;
 }
 
-let create ?seed ~params ~x ~y () =
+let create ?seed ?obs ~params ~x ~y () =
   let budget = Params.usable_pages params in
   if y.Policy.capacity > budget then
     invalid_arg
@@ -37,68 +41,94 @@ let create ?seed ~params ~x ~y () =
          "Simulation.create: Y capacity %d exceeds the (1-delta)P budget %d"
          y.Policy.capacity budget);
   let d = Decoupled.create ?seed params in
+  let obs = match obs with Some o -> o | None -> Obs.Scope.null () in
   {
     d;
     x;
     y;
     h_max = Decoupled.h_max d;
-    accesses = 0;
-    ios = 0;
-    tlb_fills = 0;
-    decoding_misses = 0;
     failures_at_reset = ref 0;
+    tr = Obs.Scope.tracer obs;
+    c_accesses = Obs.Scope.counter obs "accesses";
+    c_ios = Obs.Scope.counter obs "ios";
+    c_tlb_fills = Obs.Scope.counter obs "tlb_fills";
+    c_decoding_misses = Obs.Scope.counter obs "decoding_misses";
+    c_psi_updates = Obs.Scope.counter obs "psi_updates";
+    g_max_bucket_load = Obs.Scope.gauge obs "max_bucket_load";
   }
 
 let decoupled t = t.d
 
+(* A residency change rewrites the ψ field of the covering huge page;
+   when that huge page is TLB-covered, the materialized entry must be
+   refreshed too — the ψ-update cost the SMP model charges IPIs for. *)
+let note_psi_update t page =
+  let u = page / t.h_max in
+  if Decoupled.tlb_mem t.d u then begin
+    Obs.Counter.incr t.c_psi_updates;
+    Obs.Trace.record t.tr Obs.Event.Psi_update page u
+  end
+
 let access t page =
-  t.accesses <- t.accesses + 1;
+  Obs.Counter.incr t.c_accesses;
   let u = page / t.h_max in
   (* TLB side: Z's TLB mirrors X's content on the stream r(σ). *)
   (match t.x.Policy.access u with
-   | Policy.Hit -> ()
+   | Policy.Hit -> Obs.Trace.record t.tr Obs.Event.Tlb_hit u 0
    | Policy.Miss { evicted } ->
-     t.tlb_fills <- t.tlb_fills + 1;
+     Obs.Counter.incr t.c_tlb_fills;
+     Obs.Trace.record t.tr Obs.Event.Tlb_miss u 0;
      (match evicted with
-      | Some victim -> Decoupled.tlb_remove t.d victim
+      | Some victim ->
+        Obs.Trace.record t.tr Obs.Event.Eviction victim u;
+        Decoupled.tlb_remove t.d victim
       | None -> ());
      Decoupled.tlb_add t.d u);
   (* RAM side: Z's active set mirrors Y's. *)
   (match t.y.Policy.access page with
    | Policy.Hit -> ()
    | Policy.Miss { evicted } ->
-     t.ios <- t.ios + 1;
+     Obs.Counter.incr t.c_ios;
+     Obs.Trace.record t.tr Obs.Event.Io page 0;
      (match evicted with
-      | Some victim -> Decoupled.ram_evict t.d victim
+      | Some victim ->
+        Decoupled.ram_evict t.d victim;
+        note_psi_update t victim
       | None -> ());
-     ignore (Decoupled.ram_insert t.d page : Alloc.location));
+     ignore (Decoupled.ram_insert t.d page : Alloc.location);
+     note_psi_update t page);
   (* Translate. The huge page is covered and the page is active, so
      the only non-frame answer is a decoding miss from a paging
      failure. *)
   match Decoupled.translate t.d page with
   | Decoupled.Frame _ -> ()
-  | Decoupled.Decode_fault -> t.decoding_misses <- t.decoding_misses + 1
+  | Decoupled.Decode_fault ->
+    Obs.Counter.incr t.c_decoding_misses;
+    Obs.Trace.record t.tr Obs.Event.Decode_miss page u
   | Decoupled.Not_covered ->
     (* We just added u on an X miss, and X holds u on a hit. *)
     assert false
 
 let report t =
+  let max_bucket_load = Alloc.max_bucket_load (Decoupled.alloc t.d) in
+  Obs.Gauge.set_int t.g_max_bucket_load max_bucket_load;
   {
-    accesses = t.accesses;
-    ios = t.ios;
-    tlb_fills = t.tlb_fills;
-    decoding_misses = t.decoding_misses;
+    accesses = Obs.Counter.value t.c_accesses;
+    ios = Obs.Counter.value t.c_ios;
+    tlb_fills = Obs.Counter.value t.c_tlb_fills;
+    decoding_misses = Obs.Counter.value t.c_decoding_misses;
     failures_total =
       Alloc.failures_total (Decoupled.alloc t.d) - !(t.failures_at_reset);
-    max_bucket_load = Alloc.max_bucket_load (Decoupled.alloc t.d);
+    max_bucket_load;
   }
 
 let reset_report t =
-  t.accesses <- 0;
-  t.ios <- 0;
-  t.tlb_fills <- 0;
-  t.decoding_misses <- 0;
-  t.failures_at_reset := Alloc.failures_total (Decoupled.alloc t.d)
+  t.failures_at_reset := Alloc.failures_total (Decoupled.alloc t.d);
+  Obs.Counter.reset t.c_accesses;
+  Obs.Counter.reset t.c_ios;
+  Obs.Counter.reset t.c_tlb_fills;
+  Obs.Counter.reset t.c_decoding_misses;
+  Obs.Counter.reset t.c_psi_updates
 
 let run ?warmup t trace =
   (match warmup with

@@ -38,6 +38,7 @@ type t
 
 val create :
   ?seed:int ->
+  ?obs:Atp_obs.Scope.t ->
   params:Params.t ->
   x:Atp_paging.Policy.instance ->
   y:Atp_paging.Policy.instance ->
@@ -45,7 +46,12 @@ val create :
   t
 (** [x]'s capacity is the TLB entry count ℓ; [y]'s capacity must not
     exceed [Params.usable_pages params] (raises [Invalid_argument]
-    otherwise — that is the resource-augmentation contract). *)
+    otherwise — that is the resource-augmentation contract).
+
+    [obs] registers [accesses]/[ios]/[tlb_fills]/[decoding_misses]/
+    [psi_updates] counters and a [max_bucket_load] gauge (mirroring
+    {!report}), and emits [tlb_hit]/[tlb_miss]/[io]/[decode_miss]/
+    [eviction]/[psi_update] trace events. *)
 
 val decoupled : t -> Decoupled.t
 

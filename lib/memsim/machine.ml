@@ -1,5 +1,6 @@
 open Atp_util
 open Atp_paging
+module Obs = Atp_obs
 
 type config = {
   ram_pages : int;
@@ -30,9 +31,6 @@ type counters = {
   ios : int;
 }
 
-let zero_counters =
-  { accesses = 0; tlb_hits = 0; tlb_misses = 0; page_faults = 0; ios = 0 }
-
 let cost ~epsilon c = float_of_int c.ios +. (epsilon *. float_of_int c.tlb_misses)
 
 type t = {
@@ -42,7 +40,12 @@ type t = {
   ram : Policy.instance;            (* residency of huge pages *)
   frame_of : Int_table.t;           (* huge page -> base frame *)
   buddy : Buddy.t;
-  mutable counters : counters;
+  tr : Obs.Trace.t;
+  c_accesses : Obs.Counter.t;
+  c_tlb_hits : Obs.Counter.t;
+  c_tlb_misses : Obs.Counter.t;
+  c_page_faults : Obs.Counter.t;
+  c_ios : Obs.Counter.t;
 }
 
 let log2_exact n =
@@ -52,7 +55,7 @@ let log2_exact n =
     Some (go 0 n)
   end
 
-let create cfg =
+let create ?obs cfg =
   let huge_shift =
     match log2_exact cfg.huge_size with
     | Some s -> s
@@ -62,24 +65,42 @@ let create cfg =
   if huge_frames < 1 then
     invalid_arg "Machine.create: RAM smaller than one huge page";
   let rng = Prng.create ~seed:cfg.seed () in
+  let obs = match obs with Some o -> o | None -> Obs.Scope.null () in
   {
     cfg;
     huge_shift;
     tlb =
       Atp_tlb.Tlb.create ~policy:cfg.tlb_policy ~rng:(Prng.split rng)
-        ~entries:cfg.tlb_entries ();
+        ~obs:(Obs.Scope.sub obs "tlb") ~entries:cfg.tlb_entries ();
     ram = Policy.instantiate cfg.ram_policy ~rng:(Prng.split rng)
             ~capacity:huge_frames ();
     frame_of = Int_table.create ();
     buddy = Buddy.create ~frames:cfg.ram_pages;
-    counters = zero_counters;
+    tr = Obs.Scope.tracer obs;
+    c_accesses = Obs.Scope.counter obs "accesses";
+    c_tlb_hits = Obs.Scope.counter obs "tlb_hits";
+    c_tlb_misses = Obs.Scope.counter obs "tlb_misses";
+    c_page_faults = Obs.Scope.counter obs "page_faults";
+    c_ios = Obs.Scope.counter obs "ios";
   }
 
 let config t = t.cfg
 
-let counters t = t.counters
+let counters t =
+  {
+    accesses = Obs.Counter.value t.c_accesses;
+    tlb_hits = Obs.Counter.value t.c_tlb_hits;
+    tlb_misses = Obs.Counter.value t.c_tlb_misses;
+    page_faults = Obs.Counter.value t.c_page_faults;
+    ios = Obs.Counter.value t.c_ios;
+  }
 
-let reset_counters t = t.counters <- zero_counters
+let reset_counters t =
+  Obs.Counter.reset t.c_accesses;
+  Obs.Counter.reset t.c_tlb_hits;
+  Obs.Counter.reset t.c_tlb_misses;
+  Obs.Counter.reset t.c_page_faults;
+  Obs.Counter.reset t.c_ios
 
 let resident_pages t = t.ram.Policy.size () * t.cfg.huge_size
 
@@ -95,6 +116,7 @@ let ensure_resident t hu =
        let base = Int_table.find_exn t.frame_of victim in
        ignore (Int_table.remove t.frame_of victim);
        Buddy.free t.buddy ~base ~order:t.huge_shift;
+       Obs.Trace.record t.tr Obs.Event.Eviction victim hu;
        (* The victim's translation is stale: shoot it down (free). *)
        ignore (Atp_tlb.Tlb.invalidate t.tlb victim));
     let base =
@@ -106,17 +128,14 @@ let ensure_resident t hu =
         assert false
     in
     Int_table.set t.frame_of hu base;
-    let c = t.counters in
-    t.counters <-
-      { c with
-        page_faults = c.page_faults + 1;
-        ios = c.ios + t.cfg.huge_size };
+    Obs.Counter.incr t.c_page_faults;
+    Obs.Counter.add t.c_ios t.cfg.huge_size;
+    Obs.Trace.record t.tr Obs.Event.Io hu t.cfg.huge_size;
     base
 
 let access t vpage =
   if vpage < 0 then invalid_arg "Machine.access: negative page";
   let hu = vpage lsr t.huge_shift in
-  let c = t.counters in
   match Atp_tlb.Tlb.lookup t.tlb hu with
   | Some _base ->
     (* TLB hit implies residency (entries are shot down on eviction),
@@ -126,10 +145,11 @@ let access t vpage =
     (match t.ram.Policy.access hu with
      | Policy.Hit -> ()
      | Policy.Miss _ -> assert false);
-    t.counters <- { c with accesses = c.accesses + 1; tlb_hits = c.tlb_hits + 1 }
+    Obs.Counter.incr t.c_accesses;
+    Obs.Counter.incr t.c_tlb_hits
   | None ->
-    t.counters <-
-      { c with accesses = c.accesses + 1; tlb_misses = c.tlb_misses + 1 };
+    Obs.Counter.incr t.c_accesses;
+    Obs.Counter.incr t.c_tlb_misses;
     let base = ensure_resident t hu in
     ignore (Atp_tlb.Tlb.insert t.tlb hu base)
 

@@ -39,9 +39,12 @@ val cost : epsilon:float -> counters -> float
 
 type t
 
-val create : config -> t
+val create : ?obs:Atp_obs.Scope.t -> config -> t
 (** Raises [Invalid_argument] if [huge_size] is not a power of two, or
-    if fewer than one huge page fits in RAM. *)
+    if fewer than one huge page fits in RAM.  [obs] registers
+    [accesses]/[tlb_hits]/[tlb_misses]/[page_faults]/[ios] counters
+    (mirroring {!counters}) plus the TLB's own under the sub-scope
+    [tlb], and emits [io]/[eviction] trace events. *)
 
 val config : t -> config
 
@@ -51,8 +54,10 @@ val access : t -> int -> unit
 val counters : t -> counters
 
 val reset_counters : t -> unit
-(** Zero the counters but keep TLB/RAM state: used to separate warmup
-    from measurement, as the paper's experiments do. *)
+(** Zero the counters ({!counters} is a view of the registered obs
+    counters, the only store) but keep
+    TLB/RAM state: used to separate warmup from measurement, as the
+    paper's experiments do. *)
 
 val resident_pages : t -> int
 (** Base pages currently in RAM ([h] times the resident huge units). *)

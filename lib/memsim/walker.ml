@@ -1,3 +1,5 @@
+module Obs = Atp_obs
+
 type config = {
   pwc_entries : int;
   memory_latency : int;
@@ -26,14 +28,25 @@ type t = {
      levels of the walk are already resolved. *)
   pwc : unit Atp_tlb.Tlb.t;
   mutable stats : stats;
+  c_walks : Obs.Counter.t;
+  c_pwc_hits : Obs.Counter.t;
+  c_memory_accesses : Obs.Counter.t;
+  h_cycles : Obs.Histogram.t;
 }
 
-let create ?(config = default_config) table =
+let create ?(config = default_config) ?obs table =
+  let obs = match obs with Some o -> o | None -> Obs.Scope.null () in
   {
     config;
     table;
-    pwc = Atp_tlb.Tlb.create ~entries:config.pwc_entries ();
+    pwc =
+      Atp_tlb.Tlb.create ~obs:(Obs.Scope.sub obs "pwc")
+        ~entries:config.pwc_entries ();
     stats = { walks = 0; total_cycles = 0; total_memory_accesses = 0; pwc_hits = 0 };
+    c_walks = Obs.Scope.counter obs "walks";
+    c_pwc_hits = Obs.Scope.counter obs "pwc_hits";
+    c_memory_accesses = Obs.Scope.counter obs "memory_accesses";
+    h_cycles = Obs.Scope.histogram obs "walk_cycles";
   }
 
 let key ~skip vpage =
@@ -76,6 +89,10 @@ let translate t vpage =
       total_memory_accesses = s.total_memory_accesses + memory_accesses;
       pwc_hits = (s.pwc_hits + if skip > 0 then 1 else 0);
     };
+  Obs.Counter.incr t.c_walks;
+  Obs.Counter.add t.c_memory_accesses memory_accesses;
+  if skip > 0 then Obs.Counter.incr t.c_pwc_hits;
+  Obs.Histogram.observe t.h_cycles cycles;
   { mapping; memory_accesses; cycles }
 
 let invalidate t = Atp_tlb.Tlb.flush t.pwc

@@ -36,7 +36,10 @@ type stats = {
 
 type t
 
-val create : ?config:config -> Page_table.t -> t
+val create : ?config:config -> ?obs:Atp_obs.Scope.t -> Page_table.t -> t
+(** [obs] registers [walks]/[pwc_hits]/[memory_accesses] counters and a
+    [walk_cycles] histogram (mirroring {!stats}), plus the PWC's TLB
+    counters under the sub-scope [pwc]. *)
 
 val translate : t -> int -> result
 (** Walk the table for a virtual page, consulting and filling the

@@ -1,0 +1,30 @@
+type kind =
+  | Tlb_hit
+  | Tlb_miss
+  | Io
+  | Decode_miss
+  | Eviction
+  | Psi_update
+  | Page_fault
+  | Custom of string
+
+type t = { seq : int; kind : kind; subject : int; detail : int }
+
+let kind_to_string = function
+  | Tlb_hit -> "tlb_hit"
+  | Tlb_miss -> "tlb_miss"
+  | Io -> "io"
+  | Decode_miss -> "decode_miss"
+  | Eviction -> "eviction"
+  | Psi_update -> "psi_update"
+  | Page_fault -> "page_fault"
+  | Custom s -> s
+
+let to_json t =
+  Json.Obj
+    [
+      ("seq", Json.Int t.seq);
+      ("kind", Json.String (kind_to_string t.kind));
+      ("subject", Json.Int t.subject);
+      ("detail", Json.Int t.detail);
+    ]

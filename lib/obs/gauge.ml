@@ -1,0 +1,15 @@
+type t = { name : string; mutable value : float }
+
+let create name = { name; value = 0.0 }
+
+let name t = t.name
+
+let set t v = t.value <- v
+
+let set_int t v = t.value <- float_of_int v
+
+let value t = t.value
+
+let reset t = t.value <- 0.0
+
+let to_json t = Json.Float t.value

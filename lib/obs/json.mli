@@ -1,0 +1,21 @@
+(** A minimal JSON value type and serializer, just enough for metric
+    snapshots and trace events.  No parser, no external dependency.
+
+    Serialization is deterministic: callers control key order, floats
+    render with [%.12g], and non-finite floats become [null] — so a
+    snapshot of a seeded run is byte-stable and safe to golden-test. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_buffer : Buffer.t -> t -> unit
+
+val to_string : t -> string
+
+val to_channel : out_channel -> t -> unit

@@ -1,0 +1,51 @@
+type t = {
+  capacity : int;
+  ring : Event.t array;
+  mutable emitted : int;
+}
+
+let dummy_event =
+  { Event.seq = 0; kind = Event.Custom "unset"; subject = 0; detail = 0 }
+
+let disabled = { capacity = 0; ring = [||]; emitted = 0 }
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Trace.create: capacity must be positive";
+  { capacity; ring = Array.make capacity dummy_event; emitted = 0 }
+
+let enabled t = t.capacity > 0
+
+let write t kind subject detail =
+  let seq = t.emitted in
+  t.ring.(seq mod t.capacity) <- { Event.seq; kind; subject; detail };
+  t.emitted <- seq + 1
+
+(* [record] is the hot-path entry: positional arguments and an
+   [@inline] guard, so a disabled tracer costs one load and branch at
+   the call site — no wrapper call for the optional argument. *)
+let[@inline] record t kind subject detail =
+  if t.capacity > 0 then write t kind subject detail
+
+let[@inline] emit t ?(detail = 0) kind subject = record t kind subject detail
+
+let emitted t = t.emitted
+
+let dropped t = if t.emitted > t.capacity then t.emitted - t.capacity else 0
+
+let events t =
+  let n = min t.emitted t.capacity in
+  List.init n (fun i -> t.ring.((t.emitted - n + i) mod t.capacity))
+
+let to_jsonl buf t =
+  List.iter
+    (fun e ->
+      Json.to_buffer buf (Event.to_json e);
+      Buffer.add_char buf '\n')
+    (events t)
+
+let write_jsonl path t =
+  let buf = Buffer.create 4096 in
+  to_jsonl buf t;
+  let oc = open_out path in
+  Buffer.output_buffer oc buf;
+  close_out oc

@@ -1,0 +1,40 @@
+(** A fixed-capacity ring-buffer event tracer.
+
+    When disabled (the default everywhere), [emit] is a single branch
+    on a capacity field — no allocation, no write — so instrumented
+    hot paths cost nothing beyond their counters.  When enabled, the
+    ring keeps the most recent [capacity] events and counts what it
+    overwrote, so a long run still exports a bounded, honest tail. *)
+
+type t
+
+val disabled : t
+(** The shared no-op tracer: [emit] returns immediately. *)
+
+val create : capacity:int -> t
+(** Raises [Invalid_argument] if [capacity < 1]. *)
+
+val enabled : t -> bool
+
+val emit : t -> ?detail:int -> Event.kind -> int -> unit
+(** [emit t kind subject] records one event; [detail] defaults to 0. *)
+
+val record : t -> Event.kind -> int -> int -> unit
+(** [record t kind subject detail]: positional variant of {!emit} for
+    instrumented hot paths — fully applied, it inlines to a single
+    branch when the tracer is disabled. *)
+
+val emitted : t -> int
+(** Total events ever emitted, including overwritten ones. *)
+
+val dropped : t -> int
+(** Events lost to ring overwrite: [max 0 (emitted - capacity)]. *)
+
+val events : t -> Event.t list
+(** Retained events, oldest first. *)
+
+val to_jsonl : Buffer.t -> t -> unit
+(** One {!Event.to_json} record per line, oldest first. *)
+
+val write_jsonl : string -> t -> unit
+(** [write_jsonl path t] writes the JSONL dump to a file. *)

@@ -1,3 +1,5 @@
+module Obs = Atp_obs
+
 type config = {
   l1_entries : int;
   l2_entries : int;
@@ -19,16 +21,25 @@ type 'a t = {
   l2 : 'a Tlb.t;
   mutable total_cycles : int;
   mutable lookups : int;
+  c_lookups : Obs.Counter.t;
+  h_latency : Obs.Histogram.t;
 }
 
-let create ?(config = default_config) () =
+let create ?(config = default_config) ?obs () =
+  let obs = match obs with Some o -> o | None -> Obs.Scope.null () in
   {
     cfg = config;
-    l1 = Tlb.create ~entries:config.l1_entries ();
-    l2 = Tlb.create ~entries:config.l2_entries ();
+    l1 = Tlb.create ~obs:(Obs.Scope.sub obs "l1") ~entries:config.l1_entries ();
+    l2 = Tlb.create ~obs:(Obs.Scope.sub obs "l2") ~entries:config.l2_entries ();
     total_cycles = 0;
     lookups = 0;
+    c_lookups = Obs.Scope.counter obs "lookups";
+    h_latency = Obs.Scope.histogram obs "lookup_cycles";
   }
+
+let observe_cycles t cycles =
+  Obs.Counter.incr t.c_lookups;
+  Obs.Histogram.observe t.h_latency cycles
 
 let lookup t key =
   t.lookups <- t.lookups + 1;
@@ -36,12 +47,14 @@ let lookup t key =
   | Some payload ->
     let cycles = t.cfg.l1_latency in
     t.total_cycles <- t.total_cycles + cycles;
+    observe_cycles t cycles;
     (Some payload, L1_hit cycles)
   | None ->
     (match Tlb.lookup t.l2 key with
      | Some payload ->
        let cycles = t.cfg.l1_latency + t.cfg.l2_latency in
        t.total_cycles <- t.total_cycles + cycles;
+       observe_cycles t cycles;
        (* Refill L1; the L1 victim just loses its fast path (L2 is
           inclusive, so no data is lost). *)
        ignore (Tlb.insert t.l1 key payload);
@@ -49,6 +62,7 @@ let lookup t key =
      | None ->
        let cycles = t.cfg.l1_latency + t.cfg.l2_latency in
        t.total_cycles <- t.total_cycles + cycles;
+       observe_cycles t cycles;
        (None, Miss cycles))
 
 let insert t key payload =

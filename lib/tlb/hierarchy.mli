@@ -21,7 +21,10 @@ type outcome =
   | L2_hit of int
   | Miss of int  (** cycles burned probing both levels *)
 
-val create : ?config:config -> unit -> 'a t
+val create : ?config:config -> ?obs:Atp_obs.Scope.t -> unit -> 'a t
+(** [obs] registers a [lookups] counter and a [lookup_cycles] histogram
+    under the scope, and threads the sub-scopes [l1]/[l2] to the two
+    levels' TLB counters. *)
 
 val lookup : 'a t -> int -> 'a option * outcome
 

@@ -1,4 +1,5 @@
 open Atp_paging
+module Obs = Atp_obs
 
 type stats = {
   lookups : int;
@@ -8,24 +9,32 @@ type stats = {
   evictions : int;
 }
 
-let empty_stats =
-  { lookups = 0; hits = 0; misses = 0; insertions = 0; evictions = 0 }
-
 type 'a t = {
   policy : Policy.instance;
   payloads : (int, 'a) Hashtbl.t;
-  mutable stats : stats;
+  tr : Obs.Trace.t;
+  c_lookups : Obs.Counter.t;
+  c_hits : Obs.Counter.t;
+  c_misses : Obs.Counter.t;
+  c_insertions : Obs.Counter.t;
+  c_evictions : Obs.Counter.t;
 }
 
-let create ?policy ?rng ~entries () =
+let create ?policy ?rng ?obs ~entries () =
   if entries < 1 then invalid_arg "Tlb.create: need at least one entry";
   let policy_module =
     match policy with Some p -> p | None -> (module Lru : Policy.S)
   in
+  let obs = match obs with Some o -> o | None -> Obs.Scope.null () in
   {
     policy = Policy.instantiate policy_module ?rng ~capacity:entries ();
     payloads = Hashtbl.create (2 * entries);
-    stats = empty_stats;
+    tr = Obs.Scope.tracer obs;
+    c_lookups = Obs.Scope.counter obs "lookups";
+    c_hits = Obs.Scope.counter obs "hits";
+    c_misses = Obs.Scope.counter obs "misses";
+    c_insertions = Obs.Scope.counter obs "insertions";
+    c_evictions = Obs.Scope.counter obs "evictions";
   }
 
 let entries t = t.policy.Policy.capacity
@@ -37,22 +46,23 @@ let mem t key = t.policy.Policy.mem key
 let peek t key = Hashtbl.find_opt t.payloads key
 
 let lookup t key =
-  let s = t.stats in
+  Obs.Counter.incr t.c_lookups;
   if t.policy.Policy.mem key then begin
     (* Count the hit and refresh recency via the policy. *)
     (match t.policy.Policy.access key with
      | Policy.Hit -> ()
      | Policy.Miss _ -> assert false);
-    t.stats <- { s with lookups = s.lookups + 1; hits = s.hits + 1 };
+    Obs.Counter.incr t.c_hits;
+    Obs.Trace.record t.tr Obs.Event.Tlb_hit key 0;
     Hashtbl.find_opt t.payloads key
   end
   else begin
-    t.stats <- { s with lookups = s.lookups + 1; misses = s.misses + 1 };
+    Obs.Counter.incr t.c_misses;
+    Obs.Trace.record t.tr Obs.Event.Tlb_miss key 0;
     None
   end
 
 let insert t key payload =
-  let s = t.stats in
   let evicted =
     match t.policy.Policy.access key with
     | Policy.Hit -> None
@@ -63,10 +73,12 @@ let insert t key payload =
       Some (victim, victim_payload)
   in
   Hashtbl.replace t.payloads key payload;
-  t.stats <-
-    { s with
-      insertions = s.insertions + 1;
-      evictions = (s.evictions + if evicted = None then 0 else 1) };
+  Obs.Counter.incr t.c_insertions;
+  (match evicted with
+   | None -> ()
+   | Some (victim, _) ->
+     Obs.Counter.incr t.c_evictions;
+     Obs.Trace.record t.tr Obs.Event.Eviction victim key);
   evicted
 
 let update t key payload =
@@ -89,9 +101,23 @@ let flush t =
     (t.policy.Policy.resident ());
   Hashtbl.reset t.payloads
 
-let stats t = t.stats
+(* The obs counters are the only store; the stats record is a view of
+   them, so the exported snapshot can never desynchronize from it. *)
+let stats t =
+  {
+    lookups = Obs.Counter.value t.c_lookups;
+    hits = Obs.Counter.value t.c_hits;
+    misses = Obs.Counter.value t.c_misses;
+    insertions = Obs.Counter.value t.c_insertions;
+    evictions = Obs.Counter.value t.c_evictions;
+  }
 
-let reset_stats t = t.stats <- empty_stats
+let reset_stats t =
+  Obs.Counter.reset t.c_lookups;
+  Obs.Counter.reset t.c_hits;
+  Obs.Counter.reset t.c_misses;
+  Obs.Counter.reset t.c_insertions;
+  Obs.Counter.reset t.c_evictions
 
 let iter f t = Hashtbl.iter f t.payloads
 

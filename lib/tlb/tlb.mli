@@ -22,11 +22,15 @@ type stats = {
 val create :
   ?policy:(module Atp_paging.Policy.S) ->
   ?rng:Atp_util.Prng.t ->
+  ?obs:Atp_obs.Scope.t ->
   entries:int ->
   unit ->
   'a t
 (** [policy] defaults to LRU — the configuration of every experiment in
-    the paper. *)
+    the paper.  [obs] registers [lookups]/[hits]/[misses]/[insertions]/
+    [evictions] counters under the scope's prefix and emits
+    [tlb_hit]/[tlb_miss]/[eviction] trace events; when omitted the TLB
+    observes into a private throwaway registry. *)
 
 val entries : 'a t -> int
 
@@ -61,6 +65,10 @@ val flush : 'a t -> unit
 val stats : 'a t -> stats
 
 val reset_stats : 'a t -> unit
+(** Zero the counters.  {!stats} is a view of the registered obs
+    counters (they are the only store), so the two can never
+    desynchronize; note that two TLBs sharing one scope therefore
+    aggregate — and reset — the same counters. *)
 
 val iter : (int -> 'a -> unit) -> 'a t -> unit
 

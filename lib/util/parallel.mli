@@ -4,10 +4,14 @@
     configurations (one per huge-page size); each closure owns its
     state and reads only immutable inputs, so they parallelize
     trivially.  Results keep their input order, and the first
-    exception raised by any task is re-raised in the caller. *)
+    exception raised by any task is re-raised in the caller.
+
+    On OCaml < 5 (no [Domain]) a sequential implementation with the
+    same interface is selected at build time. *)
 
 val recommended_domains : unit -> int
-(** [Domain.recommended_domain_count ()], at least 1. *)
+(** [Domain.recommended_domain_count ()], at least 1; always 1 on the
+    sequential fallback. *)
 
 val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [map ~domains f xs] evaluates [f] on every element using up to

@@ -1,0 +1,13 @@
+(* Sequential stand-in for OCaml < 5, where the Domain module does not
+   exist.  Selected by a dune rule on the compiler version; same
+   interface, same validation, results in the same order. *)
+
+let recommended_domains () = 1
+
+let map_array ?domains f input =
+  (match domains with
+   | Some d when d < 1 -> invalid_arg "Parallel.map: need at least one domain"
+   | _ -> ());
+  Array.map f input
+
+let map ?domains f xs = Array.to_list (map_array ?domains f (Array.of_list xs))

@@ -11,6 +11,7 @@ module Summary = struct
     { count = 0; mean = 0.0; m2 = 0.0; min = infinity; max = neg_infinity }
 
   let add t x =
+    if Float.is_nan x then invalid_arg "Summary.add: NaN observation";
     t.count <- t.count + 1;
     let delta = x -. t.mean in
     t.mean <- t.mean +. delta /. float_of_int t.count;

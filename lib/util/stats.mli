@@ -7,6 +7,9 @@ module Summary : sig
   val create : unit -> t
 
   val add : t -> float -> unit
+  (** Raises [Invalid_argument] on a NaN observation: a NaN would
+      silently poison mean/variance and, through {!Atp_obs}
+      histograms, every exported snapshot downstream. *)
 
   val count : t -> int
 
