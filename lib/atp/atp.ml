@@ -1,20 +1,4 @@
-(** The umbrella namespace: one [open Atp] (or qualified [Atp.Core.…])
-    reaches every library in the project.
-
-    - {!Util}: PRNG, hashing, bit-packed arrays, samplers, statistics.
-    - {!Obs}: the observability layer — metric registry, counters,
-      histograms, ring-buffer event tracing, JSON export.
-    - {!Paging}: replacement policies, OPT, simulation, miss-ratio
-      curves, competitive analysis.
-    - {!Ballsbins}: the dynamic balls-and-bins laboratory and the
-      Iceberg hash table.
-    - {!Tlb}: TLB models of every flavour.
-    - {!Memsim}: page tables, walkers, nested translation, the
-      Section 6 machine, THP, superpages, SMP, the VMM.
-    - {!Core}: the paper's contribution — decoupling, the Simulation
-      Theorem, the hybrid scheme, the unified scheme interface.
-    - {!Workloads}: the paper's workloads, HPC kernels, combinators,
-      trace IO. *)
+(* Documented in atp.mli. *)
 
 module Util = Atp_util
 module Obs = Atp_obs

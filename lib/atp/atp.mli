@@ -1,0 +1,26 @@
+(** The umbrella namespace: one [open Atp] (or qualified [Atp.Core.…])
+    reaches every library in the project.
+
+    - {!Util}: PRNG, hashing, bit-packed arrays, samplers, statistics.
+    - {!Obs}: the observability layer — metric registry, counters,
+      histograms, ring-buffer event tracing, JSON export.
+    - {!Paging}: replacement policies, OPT, simulation, miss-ratio
+      curves, competitive analysis.
+    - {!Ballsbins}: the dynamic balls-and-bins laboratory and the
+      Iceberg hash table.
+    - {!Tlb}: TLB models of every flavour.
+    - {!Memsim}: page tables, walkers, nested translation, the
+      Section 6 machine, THP, superpages, SMP, the VMM.
+    - {!Core}: the paper's contribution — decoupling, the Simulation
+      Theorem, the hybrid scheme, the unified scheme interface.
+    - {!Workloads}: the paper's workloads, HPC kernels, combinators,
+      trace IO. *)
+
+module Util = Atp_util
+module Obs = Atp_obs
+module Paging = Atp_paging
+module Ballsbins = Atp_ballsbins
+module Tlb = Atp_tlb
+module Memsim = Atp_memsim
+module Core = Atp_core
+module Workloads = Atp_workloads

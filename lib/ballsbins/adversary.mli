@@ -25,4 +25,6 @@ val sliding_window : m:int -> universe:int -> steps:int -> Atp_util.Prng.t -> op
 (** Balls are drawn uniformly from a fixed universe; a ball already
     present is deleted and re-inserted later by an LRU-like rule.
     Approximates an LRU RAM-replacement policy: the live set is the
-    window of the [m] most recently requested pages. *)
+    window of the [m] most recently requested pages.
+
+    @raise Invalid_argument if the universe is smaller than the window [m]. *)

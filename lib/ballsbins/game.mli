@@ -11,7 +11,9 @@ type t
 
 val create : ?layers:int -> bins:int -> unit -> t
 (** [layers] defaults to 1; Iceberg[d] uses 2 (front yard and back
-    yard). *)
+    yard).
+
+    @raise Invalid_argument unless there is at least one bin and one layer. *)
 
 val bins : t -> int
 
@@ -34,11 +36,15 @@ val bin_of : t -> int -> int option
 val layer_of : t -> int -> int option
 
 val place : t -> ball:int -> bin:int -> layer:int -> unit
-(** Raises [Invalid_argument] if the ball is already present. *)
+(** Raises [Invalid_argument] if the ball is already present.
+
+    @raise Invalid_argument if the ball is already placed (a stability violation). *)
 
 val remove : t -> ball:int -> int
 (** Deletes the ball, returning the bin it was in.  Raises
-    [Invalid_argument] if absent. *)
+    [Invalid_argument] if absent.
+
+    @raise Invalid_argument if the ball is not present. *)
 
 val loads : t -> int array
 (** A copy of the per-bin total loads. *)

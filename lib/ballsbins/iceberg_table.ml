@@ -29,7 +29,6 @@ let zero_stats =
 
 type 'v t = {
   capacity : int;
-  bins : int;
   front_fam : Hashing.family;  (* 1 hash onto front bins *)
   back_fam : Hashing.family;  (* 2 hashes onto back bins *)
   front_keys : int array;  (* bins * front_width; -1 = empty *)
@@ -50,7 +49,6 @@ let create ?(seed = 0x1CE) ~capacity () =
   let rng = Prng.create ~seed () in
   {
     capacity;
-    bins;
     front_fam = Hashing.family rng ~k:1 ~range:bins;
     back_fam = Hashing.family rng ~k:2 ~range:bins;
     front_keys = Array.make (bins * front_width) (-1);

@@ -30,7 +30,9 @@ val create : ?seed:int -> capacity:int -> unit -> 'v t
     [Invalid_argument] if [capacity < 1].  The structure never
     resizes — beyond the yards, keys land in an O(1)-expected spill
     area whose occupancy {!overflow_count} exposes (it stays tiny at
-    any load the theorems cover). *)
+    any load the theorems cover).
+
+    @raise Invalid_argument if [capacity < 1]. *)
 
 val capacity : 'v t -> int
 

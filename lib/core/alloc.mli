@@ -41,10 +41,15 @@ val free : t -> int
 val insert : t -> int -> location
 (** Raises [Invalid_argument] if the page is already resident, and
     [Failure] if RAM is completely full (the caller must respect
-    [Params.usable_pages]). *)
+    [Params.usable_pages]).
+
+    @raise Invalid_argument if the page is already resident.
+    @raise Failure if RAM is completely full. *)
 
 val delete : t -> int -> unit
-(** Raises [Invalid_argument] if absent. *)
+(** Raises [Invalid_argument] if absent.
+
+    @raise Invalid_argument if the page is not resident. *)
 
 val location_of : t -> int -> location option
 

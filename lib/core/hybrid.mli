@@ -35,7 +35,10 @@ val create :
 (** [chunk] must be a power of two.  X and Y are LRU internally: the
     TLB-replacement policy runs on coverage-sized super-pages, the
     RAM-replacement policy on chunks with the (1-δ) budget of the
-    derived parameters. *)
+    derived parameters.
+
+    @raise Invalid_argument unless the chunk is a power of two spanning
+    at least two frames. *)
 
 val h_max : t -> int
 

@@ -44,8 +44,9 @@ val derive : ?scheme:scheme -> ?delta_exponent:int -> p:int -> w:int -> unit -> 
     size in exchange for handing the RAM-replacement policy a bigger
     budget.  Default 1 (the body-text construction).
 
-    Raises [Invalid_argument] if [p] or [w] is too small to fit even
-    one page pointer ([h_max = 0]), or if [delta_exponent < 1]. *)
+    @raise Invalid_argument on parameters outside the paper's regime:
+    [p < 2], [w < 2], [delta_exponent < 1], [d < 1], or a word too
+    small to encode a page pointer or hold one bucket. *)
 
 val usable_pages : t -> int
 (** [(1 - delta) · p], the active-set budget handed to the

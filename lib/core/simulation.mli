@@ -51,7 +51,10 @@ val create :
     [obs] registers [accesses]/[ios]/[tlb_fills]/[decoding_misses]/
     [psi_updates] counters and a [max_bucket_load] gauge (mirroring
     {!report}), and emits [tlb_hit]/[tlb_miss]/[io]/[decode_miss]/
-    [eviction]/[psi_update] trace events. *)
+    [eviction]/[psi_update] trace events.
+
+    @raise Invalid_argument if [y]'s capacity exceeds the (1-delta)P
+    budget. *)
 
 val decoupled : t -> Decoupled.t
 

@@ -39,11 +39,15 @@ val create :
   t
 (** Each core gets its own LRU TLB-replacement policy of the given
     size; [y] is the shared RAM policy (capacity ≤ the (1-δ)P
-    budget). *)
+    budget).
+
+    @raise Invalid_argument if [cores < 1] or [y] exceeds the
+    (1-delta)P budget. *)
 
 val cores : t -> int
 
 val access : t -> core:int -> int -> unit
+(** @raise Invalid_argument on an out-of-range core index. *)
 
 val report : t -> report
 

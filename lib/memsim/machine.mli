@@ -44,12 +44,17 @@ val create : ?obs:Atp_obs.Scope.t -> config -> t
     if fewer than one huge page fits in RAM.  [obs] registers
     [accesses]/[tlb_hits]/[tlb_misses]/[page_faults]/[ios] counters
     (mirroring {!counters}) plus the TLB's own under the sub-scope
-    [tlb], and emits [io]/[eviction] trace events. *)
+    [tlb], and emits [io]/[eviction] trace events.
+
+    @raise Invalid_argument unless [huge_size] is a power of two no
+    larger than RAM. *)
 
 val config : t -> config
 
 val access : t -> int -> unit
-(** Service one virtual base-page reference. *)
+(** Service one virtual base-page reference.
+
+    @raise Invalid_argument if [vpage < 0]. *)
 
 val counters : t -> counters
 

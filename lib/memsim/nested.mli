@@ -52,3 +52,4 @@ val stats : t -> stats
 val average_cycles : t -> float
 
 val epsilon : t -> io_latency_cycles:int -> float
+(** @raise Invalid_argument if [io_latency_cycles <= 0]. *)

@@ -41,7 +41,10 @@ val map :
 (** Install a translation.  [level] defaults to 0 (a base page); for
     [level > 0] the virtual page and frame must be aligned to
     [512^level].  Raises [Invalid_argument] on misalignment or if the
-    range overlaps an existing mapping at a different level. *)
+    range overlaps an existing mapping at a different level.
+
+    @raise Invalid_argument on a bad leaf level, a page or frame not
+    aligned to that level, or a range that overlaps existing mappings. *)
 
 val unmap : t -> vpage:int -> bool
 (** Remove the translation covering [vpage] (the whole leaf, if it is

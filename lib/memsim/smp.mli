@@ -36,9 +36,13 @@ type counters = {
 type t
 
 val create : config -> t
+(** @raise Invalid_argument if there are no cores, RAM is smaller than
+    one huge page, or [huge_size] is not a power of two. *)
 
 val access : t -> core:int -> int -> unit
-(** Raises [Invalid_argument] for an out-of-range core. *)
+(** Raises [Invalid_argument] for an out-of-range core.
+
+    @raise Invalid_argument on an out-of-range core or a negative page. *)
 
 val counters : t -> counters
 

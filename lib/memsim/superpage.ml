@@ -58,7 +58,7 @@ type t = {
   cfg : config;
   huge_shift : int;
   buddy : Buddy.t;
-  partial : (int, reservation) Hashtbl.t;  (* region -> reservation *)
+  partial : reservation Int_table.Poly.t;  (* region -> reservation *)
   partial_order : Page_list.t;  (* regions, oldest at back: preemption order *)
   promoted : Int_table.t;  (* region -> base frame *)
   base_frames : Int_table.t;  (* vpage -> frame *)
@@ -86,7 +86,7 @@ let create cfg =
     cfg;
     huge_shift;
     buddy = Buddy.create ~frames:cfg.ram_pages;
-    partial = Hashtbl.create 64;
+    partial = Int_table.Poly.create ~initial_capacity:64 ();
     partial_order = Page_list.create ();
     promoted = Int_table.create ();
     base_frames = Int_table.create ();
@@ -109,10 +109,10 @@ let reset_counters t = t.counters <- zero
 let resident_pages t =
   Int_table.length t.base_frames
   + (Int_table.length t.promoted * t.cfg.huge_size)
-  + Hashtbl.fold (fun _ res acc -> acc + res.count) t.partial 0
+  + Int_table.Poly.fold (fun _ res acc -> acc + res.count) t.partial 0
 
 let reserved_unused_frames t =
-  Hashtbl.fold
+  Int_table.Poly.fold
     (fun _ res acc -> acc + (t.cfg.huge_size - res.count))
     t.partial 0
 
@@ -124,10 +124,10 @@ let region_of t v = v lsr t.huge_shift
    populated pages become ordinary base pages at their current frames
    (no copying — that is the scheme's advantage over THP). *)
 let preempt t r =
-  match Hashtbl.find_opt t.partial r with
+  match Int_table.Poly.find t.partial r with
   | None -> ()
   | Some res ->
-    Hashtbl.remove t.partial r;
+    ignore (Int_table.Poly.remove t.partial r);
     ignore (Page_list.remove t.partial_order r);
     ignore (Page_list.remove t.lru (partial_unit r));
     let base_v = r lsl t.huge_shift in
@@ -202,7 +202,7 @@ let populate t r res off =
   fault_io t;
   if res.count = t.cfg.huge_size then begin
     (* Fully populated: promotion is free (already contiguous). *)
-    Hashtbl.remove t.partial r;
+    ignore (Int_table.Poly.remove t.partial r);
     ignore (Page_list.remove t.partial_order r);
     ignore (Page_list.remove t.lru (partial_unit r));
     Int_table.set t.promoted r res.base_frame;
@@ -236,7 +236,7 @@ let access t v =
   | Some (_, shift) ->
     let unit_id =
       if shift = 0 then
-        if Hashtbl.mem t.partial r then partial_unit r else base_unit v
+        if Int_table.Poly.mem t.partial r then partial_unit r else base_unit v
       else promoted_unit r
     in
     if Page_list.mem t.lru unit_id then Page_list.move_to_front t.lru unit_id
@@ -249,7 +249,7 @@ let access t v =
             base);
        Page_list.move_to_front t.lru (promoted_unit r)
      | None ->
-       (match Hashtbl.find_opt t.partial r with
+       (match Int_table.Poly.find t.partial r with
         | Some res ->
           let off = v land (t.cfg.huge_size - 1) in
           if not (Bitvec.get res.populated off) then populate t r res off;
@@ -278,7 +278,7 @@ let access t v =
                     count = 0;
                   }
                 in
-                Hashtbl.replace t.partial r res;
+                Int_table.Poly.set t.partial r res;
                 Page_list.push_front t.partial_order r;
                 Page_list.push_front t.lru (partial_unit r);
                 t.counters <-

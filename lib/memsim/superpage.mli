@@ -38,8 +38,11 @@ type counters = {
 type t
 
 val create : config -> t
+(** @raise Invalid_argument unless [huge_size] is a power of two
+    (at least 2) no larger than RAM. *)
 
 val access : t -> int -> unit
+(** @raise Invalid_argument if the page is negative. *)
 
 val counters : t -> counters
 

@@ -40,14 +40,20 @@ type counters = {
 type t
 
 val create : config -> t
+(** @raise Invalid_argument if the configuration has no RAM. *)
 
 val mmap : t -> start:int -> pages:int -> unit
 (** Declare a valid virtual region (no physical backing yet).  Raises
-    [Invalid_argument] on overlap with an existing region. *)
+    [Invalid_argument] on overlap with an existing region.
+
+    @raise Invalid_argument on an empty, negative, or overlapping region. *)
 
 val munmap : t -> start:int -> pages:int -> unit
 (** Invalidate a region: frees frames, forgets swap copies, shoots
-    down TLB entries. *)
+    down TLB entries.
+
+    @raise Invalid_argument if the region is unknown or its length does
+    not match the mapping. *)
 
 val is_mapped : t -> int -> bool
 (** Is the page inside a mmap'd region? *)

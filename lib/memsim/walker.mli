@@ -56,4 +56,6 @@ val average_cycles : t -> float
 val epsilon : t -> io_latency_cycles:int -> float
 (** [average_cycles / io_latency_cycles]: the measured ε of the
     address-translation cost model for this table and access
-    pattern. *)
+    pattern.
+
+    @raise Invalid_argument if [io_latency_cycles <= 0]. *)

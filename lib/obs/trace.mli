@@ -12,7 +12,9 @@ val disabled : t
 (** The shared no-op tracer: [emit] returns immediately. *)
 
 val create : capacity:int -> t
-(** Raises [Invalid_argument] if [capacity < 1]. *)
+(** Raises [Invalid_argument] if [capacity < 1].
+
+    @raise Invalid_argument if [capacity < 1]. *)
 
 val enabled : t -> bool
 

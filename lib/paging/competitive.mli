@@ -24,11 +24,15 @@ val ratio_vs_opt :
 val lru_adversary : capacity:int -> length:int -> int array
 (** The cyclic sequence over [capacity + 1] pages on which LRU faults
     every request while OPT faults roughly once per [capacity]
-    requests — the tight k-competitiveness instance. *)
+    requests — the tight k-competitiveness instance.
+
+    @raise Invalid_argument if [capacity < 1]. *)
 
 val sleator_tarjan_bound : k:int -> h:int -> float
 (** [k / (k - h + 1)]: the augmented competitive ratio of LRU with [k]
-    pages against OPT with [h] pages.  Requires [1 <= h <= k]. *)
+    pages against OPT with [h] pages.  Requires [1 <= h <= k].
+
+    @raise Invalid_argument unless [1 <= h <= k]. *)
 
 val check_sleator_tarjan :
   ?rng:Atp_util.Prng.t -> k:int -> h:int -> int array -> bool
@@ -46,4 +50,6 @@ val augmentation_curve :
   int array ->
   (int * float * float) list
 (** For each [h]: [(h, measured ratio vs OPT(h), Sleator–Tarjan
-    bound)]. *)
+    bound)].
+
+    @raise Invalid_argument unless [1 <= h <= k]. *)

@@ -11,7 +11,7 @@
     Both register [accesses]/[hits]/[misses]/[evictions] counters under
     the given scope and emit an [eviction] trace event per victim. *)
 
-module Make (P : Policy.S) : sig
+module Make (_ : Policy.S) : sig
   include Policy.S
 
   val create_observed :

@@ -21,7 +21,7 @@ type t = {
   s : Page_list.t;
   q : Page_list.t;
   ghosts : Page_list.t;  (* non-resident HIR, oldest at back *)
-  state : (int, state) Hashtbl.t;
+  state : state Int_table.Poly.t;
   mutable lir_count : int;
 }
 
@@ -37,13 +37,13 @@ let create ?rng ~capacity () =
     s = Page_list.create ();
     q = Page_list.create ();
     ghosts = Page_list.create ();
-    state = Hashtbl.create 64;
+    state = Int_table.Poly.create ~initial_capacity:64 ();
     lir_count = 0;
   }
 
 let capacity t = t.capacity
 
-let state_of t page = Hashtbl.find_opt t.state page
+let state_of t page = Int_table.Poly.find t.state page
 
 let is_resident = function
   | Some Lir | Some Hir_resident -> true
@@ -68,7 +68,7 @@ let prune t =
        | Some Hir_ghost ->
          ignore (Page_list.remove t.s bottom);
          ignore (Page_list.remove t.ghosts bottom);
-         Hashtbl.remove t.state bottom;
+         ignore (Int_table.Poly.remove t.state bottom);
          go ()
        | None ->
          (* Everything in S has a state. *)
@@ -83,7 +83,7 @@ let bound_stack t =
     | None -> ()
     | Some ghost ->
       ignore (Page_list.remove t.s ghost);
-      Hashtbl.remove t.state ghost
+      ignore (Int_table.Poly.remove t.state ghost)
   done
 
 let push_top t page =
@@ -98,7 +98,7 @@ let demote_bottom_lir t =
   match Page_list.back t.s with
   | Some bottom when state_of t bottom = Some Lir ->
     ignore (Page_list.remove t.s bottom);
-    Hashtbl.replace t.state bottom Hir_resident;
+    Int_table.Poly.set t.state bottom Hir_resident;
     t.lir_count <- t.lir_count - 1;
     Page_list.push_front t.q bottom;
     prune t
@@ -109,10 +109,10 @@ let evict t =
   match Page_list.pop_back t.q with
   | Some victim ->
     if Page_list.mem t.s victim then begin
-      Hashtbl.replace t.state victim Hir_ghost;
+      Int_table.Poly.set t.state victim Hir_ghost;
       Page_list.push_front t.ghosts victim
     end
-    else Hashtbl.remove t.state victim;
+    else ignore (Int_table.Poly.remove t.state victim);
     victim
   | None ->
     (* No resident HIR (start-up, all-LIR cache): demote then evict. *)
@@ -120,10 +120,10 @@ let evict t =
     (match Page_list.pop_back t.q with
      | Some victim ->
        if Page_list.mem t.s victim then begin
-         Hashtbl.replace t.state victim Hir_ghost;
+         Int_table.Poly.set t.state victim Hir_ghost;
          Page_list.push_front t.ghosts victim
        end
-       else Hashtbl.remove t.state victim;
+       else ignore (Int_table.Poly.remove t.state victim);
        victim
      | None -> assert false)
 
@@ -137,7 +137,7 @@ let access t page =
   | Some Hir_resident ->
     if Page_list.mem t.s page then begin
       (* Reuse distance is inside the stack: promote to LIR. *)
-      Hashtbl.replace t.state page Lir;
+      Int_table.Poly.set t.state page Lir;
       t.lir_count <- t.lir_count + 1;
       ignore (Page_list.remove t.q page);
       push_top t page;
@@ -156,19 +156,19 @@ let access t page =
     if ghost_hit then begin
       (* The page proved a short reuse distance: it enters as LIR. *)
       ignore (Page_list.remove t.ghosts page);
-      Hashtbl.replace t.state page Lir;
+      Int_table.Poly.set t.state page Lir;
       t.lir_count <- t.lir_count + 1;
       push_top t page;
       if t.lir_count > t.lir_target then demote_bottom_lir t
     end
     else if t.lir_count < t.lir_target then begin
       (* Warm-up: fill the LIR set directly. *)
-      Hashtbl.replace t.state page Lir;
+      Int_table.Poly.set t.state page Lir;
       t.lir_count <- t.lir_count + 1;
       push_top t page
     end
     else begin
-      Hashtbl.replace t.state page Hir_resident;
+      Int_table.Poly.set t.state page Hir_resident;
       push_top t page;
       Page_list.push_front t.q page
     end;
@@ -178,19 +178,19 @@ let remove t page =
   match state_of t page with
   | Some Lir ->
     ignore (Page_list.remove t.s page);
-    Hashtbl.remove t.state page;
+    ignore (Int_table.Poly.remove t.state page);
     t.lir_count <- t.lir_count - 1;
     prune t;
     true
   | Some Hir_resident ->
     ignore (Page_list.remove t.q page);
     ignore (Page_list.remove t.s page);
-    Hashtbl.remove t.state page;
+    ignore (Int_table.Poly.remove t.state page);
     true
   | Some Hir_ghost | None -> false
 
 let resident t =
-  Hashtbl.fold
+  Int_table.Poly.fold
     (fun page state acc ->
       match state with
       | Lir | Hir_resident -> page :: acc

@@ -28,7 +28,9 @@ val distinct_pages : t -> int
 
 val misses : t -> int -> int
 (** [misses t c]: LRU misses on the processed trace with capacity [c].
-    Requires [c >= 1]. *)
+    Requires [c >= 1].
+
+    @raise Invalid_argument if [c < 1]. *)
 
 val curve : t -> capacities:int list -> (int * int) list
 (** [(c, misses c)] rows. *)
@@ -36,4 +38,6 @@ val curve : t -> capacities:int list -> (int * int) list
 val working_set_size : t -> fraction:float -> int
 (** Smallest capacity whose hit ratio over non-cold accesses reaches
     [fraction] (e.g. 0.999): a principled "footprint" notion.  Raises
-    [Invalid_argument] if [fraction] is outside (0, 1]. *)
+    [Invalid_argument] if [fraction] is outside (0, 1].
+
+    @raise Invalid_argument if [fraction] is outside [0, 1]. *)

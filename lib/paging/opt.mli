@@ -11,7 +11,9 @@
 type t
 
 val create : capacity:int -> int array -> t
-(** [create ~capacity trace] precomputes next-use times in O(n). *)
+(** [create ~capacity trace] precomputes next-use times in O(n).
+
+    @raise Invalid_argument if [capacity < 1]. *)
 
 val capacity : t -> int
 
@@ -21,7 +23,10 @@ val mem : t -> int -> bool
 
 val access : t -> int -> Policy.outcome
 (** The [i]th call must request [trace.(i)]; raises [Invalid_argument]
-    otherwise, and when the trace is exhausted. *)
+    otherwise, and when the trace is exhausted.
+
+    @raise Invalid_argument if the request deviates from, or runs past,
+    the pre-recorded trace. *)
 
 val remove : t -> int -> bool
 

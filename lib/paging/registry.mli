@@ -9,4 +9,6 @@ val names : string list
 val find : string -> (module Policy.S) option
 
 val find_exn : string -> (module Policy.S)
-(** Raises [Invalid_argument] with the list of known names. *)
+(** Raises [Invalid_argument] with the list of known names.
+
+    @raise Invalid_argument on an unknown policy name. *)

@@ -7,6 +7,7 @@
 type t
 
 val create : int -> t
+(** @raise Invalid_argument if [capacity < 1]. *)
 
 val capacity : t -> int
 
@@ -17,11 +18,16 @@ val is_full : t -> bool
 val slot_of_page : t -> int -> int option
 
 val page_of_slot : t -> int -> int
-(** Raises [Invalid_argument] if the slot is free. *)
+(** Raises [Invalid_argument] if the slot is free.
+
+    @raise Invalid_argument on a free slot. *)
 
 val alloc : t -> int -> int
 (** [alloc t page] places [page] in a free slot and returns it.  Raises
-    [Invalid_argument] if full or if the page is already resident. *)
+    [Invalid_argument] if full or if the page is already resident.
+
+    @raise Invalid_argument if the page is already resident or the cache
+    is full. *)
 
 val release : t -> int -> int
 (** [release t slot] frees the slot and returns the page it held. *)

@@ -49,10 +49,13 @@ let stats t = Tlb.stats t.tlb
 let reset_stats t = Tlb.reset_stats t.tlb
 
 let per_asid_share t =
-  let counts = Hashtbl.create 16 in
+  let counts = Atp_util.Int_table.create ~initial_capacity:16 () in
   Tlb.iter
     (fun k _ ->
       let a = fst (split_key t k) in
-      Hashtbl.replace counts a (1 + Option.value (Hashtbl.find_opt counts a) ~default:0))
+      Atp_util.Int_table.set counts a
+        (1 + Option.value (Atp_util.Int_table.find counts a) ~default:0))
     t.tlb;
-  List.sort compare (Hashtbl.fold (fun a c acc -> (a, c) :: acc) counts [])
+  List.sort
+    (fun (a, _) (b, _) -> Int.compare a b)
+    (Atp_util.Int_table.fold (fun a c acc -> (a, c) :: acc) counts [])

@@ -14,7 +14,9 @@
 type 'a t
 
 val create : ?asid_bits:int -> entries:int -> unit -> 'a t
-(** [asid_bits] (default 12, as on x86) bounds the id space. *)
+(** [asid_bits] (default 12, as on x86) bounds the id space.
+
+    @raise Invalid_argument unless [asid_bits] is in 1..20. *)
 
 val max_asid : 'a t -> int
 
@@ -30,7 +32,9 @@ val invalidate : 'a t -> asid:int -> int -> bool
 
 val flush_asid : 'a t -> int -> int
 (** Drop every entry of one address space (e.g. on process exit);
-    returns how many were dropped. *)
+    returns how many were dropped.
+
+    @raise Invalid_argument on an out-of-range asid. *)
 
 val flush_all : 'a t -> unit
 (** What a switch costs without ASIDs. *)

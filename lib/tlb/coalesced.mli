@@ -26,7 +26,9 @@ type stats = {
 
 val create : ?max_run:int -> entries:int -> unit -> t
 (** [max_run] defaults to 8 (CoLT's block size); must be a power of
-    two. *)
+    two.
+
+    @raise Invalid_argument unless [max_run] is a power of two. *)
 
 val max_run : t -> int
 

@@ -26,7 +26,9 @@ val create :
   'a t
 (** [degree] (default 1) pages are prefetched past each demand miss.
     [translate] is the page-table oracle; pages it maps [None] are
-    skipped. *)
+    skipped.
+
+    @raise Invalid_argument if [degree < 0]. *)
 
 val lookup : 'a t -> int -> 'a option
 (** Returns the translation, loading (and prefetching) through the

@@ -7,6 +7,7 @@
 type 'a t
 
 val create : ?seed:int -> sets:int -> ways:int -> unit -> 'a t
+(** @raise Invalid_argument unless [sets >= 1] and [ways >= 1]. *)
 
 val sets : 'a t -> int
 

@@ -13,7 +13,10 @@ type level = {
 }
 
 val create : levels:level list -> unit -> 'a t
-(** Levels must have distinct shifts. *)
+(** Levels must have distinct shifts.
+
+    @raise Invalid_argument if [levels] is empty or contains duplicate
+    shifts. *)
 
 val levels : 'a t -> level list
 
@@ -25,7 +28,9 @@ val lookup : 'a t -> int -> ('a * int) option
 val insert : 'a t -> shift:int -> int -> 'a -> (int * 'a) option
 (** Install a translation at the level with the given shift (key is
     [vpage lsr shift] computed internally from the base-page number).
-    Raises [Invalid_argument] for an unknown shift. *)
+    Raises [Invalid_argument] for an unknown shift.
+
+    @raise Invalid_argument on a shift no level covers. *)
 
 val invalidate_page : 'a t -> int -> unit
 (** Shoot down any entry, at any level, covering the base page. *)

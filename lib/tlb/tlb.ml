@@ -1,5 +1,6 @@
 open Atp_paging
 module Obs = Atp_obs
+module Int_table = Atp_util.Int_table
 
 type stats = {
   lookups : int;
@@ -11,7 +12,7 @@ type stats = {
 
 type 'a t = {
   policy : Policy.instance;
-  payloads : (int, 'a) Hashtbl.t;
+  payloads : 'a Int_table.Poly.t;
   tr : Obs.Trace.t;
   c_lookups : Obs.Counter.t;
   c_hits : Obs.Counter.t;
@@ -28,7 +29,7 @@ let create ?policy ?rng ?obs ~entries () =
   let obs = match obs with Some o -> o | None -> Obs.Scope.null () in
   {
     policy = Policy.instantiate policy_module ?rng ~capacity:entries ();
-    payloads = Hashtbl.create (2 * entries);
+    payloads = Int_table.Poly.create ~initial_capacity:(2 * entries) ();
     tr = Obs.Scope.tracer obs;
     c_lookups = Obs.Scope.counter obs "lookups";
     c_hits = Obs.Scope.counter obs "hits";
@@ -43,7 +44,7 @@ let size t = t.policy.Policy.size ()
 
 let mem t key = t.policy.Policy.mem key
 
-let peek t key = Hashtbl.find_opt t.payloads key
+let peek t key = Int_table.Poly.find t.payloads key
 
 let lookup t key =
   Obs.Counter.incr t.c_lookups;
@@ -54,7 +55,7 @@ let lookup t key =
      | Policy.Miss _ -> assert false);
     Obs.Counter.incr t.c_hits;
     Obs.Trace.record t.tr Obs.Event.Tlb_hit key 0;
-    Hashtbl.find_opt t.payloads key
+    Int_table.Poly.find t.payloads key
   end
   else begin
     Obs.Counter.incr t.c_misses;
@@ -68,11 +69,11 @@ let insert t key payload =
     | Policy.Hit -> None
     | Policy.Miss { evicted = None } -> None
     | Policy.Miss { evicted = Some victim } ->
-      let victim_payload = Hashtbl.find t.payloads victim in
-      Hashtbl.remove t.payloads victim;
+      let victim_payload = Int_table.Poly.find_exn t.payloads victim in
+      ignore (Int_table.Poly.remove t.payloads victim);
       Some (victim, victim_payload)
   in
-  Hashtbl.replace t.payloads key payload;
+  Int_table.Poly.set t.payloads key payload;
   Obs.Counter.incr t.c_insertions;
   (match evicted with
    | None -> ()
@@ -82,15 +83,15 @@ let insert t key payload =
   evicted
 
 let update t key payload =
-  if Hashtbl.mem t.payloads key then begin
-    Hashtbl.replace t.payloads key payload;
+  if Int_table.Poly.mem t.payloads key then begin
+    Int_table.Poly.set t.payloads key payload;
     true
   end
   else false
 
 let invalidate t key =
   if t.policy.Policy.remove key then begin
-    Hashtbl.remove t.payloads key;
+    ignore (Int_table.Poly.remove t.payloads key);
     true
   end
   else false
@@ -99,7 +100,7 @@ let flush t =
   List.iter
     (fun key -> ignore (t.policy.Policy.remove key))
     (t.policy.Policy.resident ());
-  Hashtbl.reset t.payloads
+  Int_table.Poly.clear t.payloads
 
 (* The obs counters are the only store; the stats record is a view of
    them, so the exported snapshot can never desynchronize from it. *)
@@ -119,7 +120,7 @@ let reset_stats t =
   Obs.Counter.reset t.c_insertions;
   Obs.Counter.reset t.c_evictions
 
-let iter f t = Hashtbl.iter f t.payloads
+let iter f t = Int_table.Poly.iter f t.payloads
 
 let pp_stats ppf s =
   Format.fprintf ppf "lookups=%a hits=%a misses=%a insertions=%a evictions=%a"

@@ -30,7 +30,9 @@ val create :
     the paper.  [obs] registers [lookups]/[hits]/[misses]/[insertions]/
     [evictions] counters under the scope's prefix and emits
     [tlb_hit]/[tlb_miss]/[eviction] trace events; when omitted the TLB
-    observes into a private throwaway registry. *)
+    observes into a private throwaway registry.
+
+    @raise Invalid_argument if [entries < 1]. *)
 
 val entries : 'a t -> int
 

@@ -6,7 +6,9 @@
 type t
 
 val create : int -> t
-(** [create n] is an all-zero vector of [n] bits. *)
+(** [create n] is an all-zero vector of [n] bits.
+
+    @raise Invalid_argument if the length is negative. *)
 
 val length : t -> int
 

@@ -18,14 +18,18 @@ val hash : seed:int -> int -> int
 val hash_in : seed:int -> int -> int -> int
 (** [hash_in ~seed n x] maps [x] to a bucket in [0, n).  Requires
     [n > 0].  Uses the high-bits multiply trick rather than [mod], so
-    all hash bits contribute. *)
+    all hash bits contribute.
+
+    @raise Invalid_argument if the range is empty or at least [2^30]. *)
 
 type family
 (** A family of [k] independent hash functions with a common range. *)
 
 val family : Prng.t -> k:int -> range:int -> family
 (** Draw [k] fresh seeds from the generator.  [range] is the common
-    codomain size. *)
+    codomain size.
+
+    @raise Invalid_argument if [k <= 0] or the range is empty. *)
 
 val k : family -> int
 

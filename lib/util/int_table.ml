@@ -135,3 +135,121 @@ let clear t =
   t.size <- 0
 
 let keys t = fold (fun k _ acc -> k :: acc) t []
+
+(* Same table, boxed values.  The values array stays empty until the
+   first insert provides a fill element, so no dummy value (and no
+   [Obj] trickery) is ever needed. *)
+module Poly = struct
+  type 'a t = {
+    mutable keys : int array;    (* empty = -1 *)
+    mutable values : 'a array;   (* length 0 until the first insert *)
+    mutable size : int;
+    mutable mask : int;
+  }
+
+  let create ?(initial_capacity = 16) () =
+    let cap = round_up_pow2 initial_capacity in
+    { keys = Array.make cap empty_key; values = [||]; size = 0; mask = cap - 1 }
+
+  let length t = t.size
+
+  let slot_of t key = (key * 0x2545F4914F6CDD1D) land max_int land t.mask
+
+  let check_key key =
+    if key < 0 then invalid_arg "Int_table.Poly: keys must be non-negative"
+
+  let rec probe t key i =
+    let k = t.keys.(i) in
+    if k = empty_key then (i, false)
+    else if k = key then (i, true)
+    else probe t key ((i + 1) land t.mask)
+
+  let grow t =
+    let old_keys = t.keys and old_values = t.values in
+    let cap = (t.mask + 1) * 2 in
+    t.keys <- Array.make cap empty_key;
+    (* [grow] only runs when the table is nearly full, so a fill
+       element exists. *)
+    t.values <- Array.make cap old_values.(0);
+    t.mask <- cap - 1;
+    t.size <- 0;
+    Array.iteri
+      (fun i k ->
+        if k <> empty_key then begin
+          let j, _ = probe t k (slot_of t k) in
+          t.keys.(j) <- k;
+          t.values.(j) <- old_values.(i);
+          t.size <- t.size + 1
+        end)
+      old_keys
+
+  let maybe_grow t = if 4 * (t.size + 1) > 3 * (t.mask + 1) then grow t
+
+  let mem t key =
+    check_key key;
+    let _, found = probe t key (slot_of t key) in
+    found
+
+  let find t key =
+    check_key key;
+    let i, found = probe t key (slot_of t key) in
+    if found then Some t.values.(i) else None
+
+  let find_exn t key =
+    check_key key;
+    let i, found = probe t key (slot_of t key) in
+    if found then t.values.(i) else raise Not_found
+
+  let set t key value =
+    check_key key;
+    maybe_grow t;
+    if Array.length t.values = 0 then
+      t.values <- Array.make (t.mask + 1) value;
+    let i, found = probe t key (slot_of t key) in
+    t.keys.(i) <- key;
+    t.values.(i) <- value;
+    if not found then t.size <- t.size + 1
+
+  let remove t key =
+    check_key key;
+    let i, found = probe t key (slot_of t key) in
+    if not found then false
+    else begin
+      t.keys.(i) <- empty_key;
+      t.size <- t.size - 1;
+      let rec shift gap j =
+        let k = t.keys.(j) in
+        if k = empty_key then ()
+        else begin
+          let home = slot_of t k in
+          let between lo x hi =
+            if lo <= hi then lo < x && x <= hi
+            else lo < x || x <= hi
+          in
+          if between gap home j then shift gap ((j + 1) land t.mask)
+          else begin
+            t.keys.(gap) <- k;
+            t.values.(gap) <- t.values.(j);
+            t.keys.(j) <- empty_key;
+            shift j ((j + 1) land t.mask)
+          end
+        end
+      in
+      shift i ((i + 1) land t.mask);
+      true
+    end
+
+  let iter f t =
+    Array.iteri (fun i k -> if k <> empty_key then f k t.values.(i)) t.keys
+
+  let fold f t init =
+    let acc = ref init in
+    iter (fun k v -> acc := f k v !acc) t;
+    !acc
+
+  let clear t =
+    Array.fill t.keys 0 (Array.length t.keys) empty_key;
+    (* Drop the values array so cleared payloads can be collected. *)
+    t.values <- [||];
+    t.size <- 0
+end

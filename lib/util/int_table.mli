@@ -37,3 +37,36 @@ val clear : t -> unit
 
 val keys : t -> int list
 (** Unordered. *)
+
+(** The same open-addressing table with arbitrary (boxed) values: the
+    replacement for [(int, 'a) Hashtbl.t] on hot paths, keeping integer
+    hashing monomorphic while still carrying a payload per page.
+
+    A removed slot may retain its last value until overwritten; use
+    {!Poly.clear} to drop every payload reference at once. *)
+module Poly : sig
+  type 'a t
+
+  val create : ?initial_capacity:int -> unit -> 'a t
+
+  val length : 'a t -> int
+
+  val mem : 'a t -> int -> bool
+
+  val find : 'a t -> int -> 'a option
+
+  val find_exn : 'a t -> int -> 'a
+  (** @raise Not_found when the key is absent. *)
+
+  val set : 'a t -> int -> 'a -> unit
+  (** Insert or overwrite. *)
+
+  val remove : 'a t -> int -> bool
+  (** Returns whether the key was present. *)
+
+  val iter : (int -> 'a -> unit) -> 'a t -> unit
+
+  val fold : (int -> 'a -> 'b -> 'b) -> 'a t -> 'b -> 'b
+
+  val clear : 'a t -> unit
+end

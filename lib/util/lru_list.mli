@@ -9,7 +9,9 @@
 type t
 
 val create : int -> t
-(** [create capacity] has all nodes detached. *)
+(** [create capacity] has all nodes detached.
+
+    @raise Invalid_argument if the capacity is negative. *)
 
 val capacity : t -> int
 
@@ -21,13 +23,19 @@ val length : t -> int
 val is_empty : t -> bool
 
 val push_front : t -> int -> unit
-(** Raises [Invalid_argument] if already linked. *)
+(** Raises [Invalid_argument] if already linked.
+
+    @raise Invalid_argument if [i] is already linked. *)
 
 val push_back : t -> int -> unit
-(** Raises [Invalid_argument] if already linked. *)
+(** Raises [Invalid_argument] if already linked.
+
+    @raise Invalid_argument if [i] is already linked. *)
 
 val remove : t -> int -> unit
-(** Raises [Invalid_argument] if not linked. *)
+(** Raises [Invalid_argument] if not linked.
+
+    @raise Invalid_argument if [i] is not linked. *)
 
 val move_to_front : t -> int -> unit
 (** Raises [Invalid_argument] if not linked. *)

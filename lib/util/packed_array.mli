@@ -9,7 +9,10 @@
 type t
 
 val create : width:int -> length:int -> t
-(** All elements start at zero.  [width] in bits, 1..48 (so that a straddling element plus its bit offset always fits in a 63-bit immediate during assembly). *)
+(** All elements start at zero.  [width] in bits, 1..48 (so that a straddling element plus its bit offset always fits in a 63-bit immediate during assembly).
+
+    @raise Invalid_argument if the length is negative or [width] is
+    outside 1..48. *)
 
 val width : t -> int
 
@@ -22,7 +25,9 @@ val get : t -> int -> int
 
 val set : t -> int -> int -> unit
 (** Raises [Invalid_argument] if the value does not fit in [width]
-    bits. *)
+    bits.
+
+    @raise Invalid_argument if the value does not fit in [width] bits. *)
 
 val total_bits : t -> int
 (** [width * length]: the size of the value this array packs into. *)
@@ -35,4 +40,6 @@ val blit_to_bytes : t -> Bytes.t
 
 val of_bytes : width:int -> length:int -> Bytes.t -> t
 (** Inverse of [blit_to_bytes].  Raises [Invalid_argument] on a size
-    mismatch. *)
+    mismatch.
+
+    @raise Invalid_argument on a bad width or a size mismatch. *)

@@ -7,17 +7,18 @@ type node = {
 type t = {
   mutable first : node option;
   mutable last : node option;
-  index : (int, node) Hashtbl.t;
+  index : node Int_table.Poly.t;
   mutable length : int;
 }
 
-let create () = { first = None; last = None; index = Hashtbl.create 64; length = 0 }
+let create () =
+  { first = None; last = None; index = Int_table.Poly.create ~initial_capacity:64 (); length = 0 }
 
 let length t = t.length
 
 let is_empty t = t.length = 0
 
-let mem t page = Hashtbl.mem t.index page
+let mem t page = Int_table.Poly.mem t.index page
 
 let push_front t page =
   if mem t page then invalid_arg "Page_list.push_front: duplicate page";
@@ -26,7 +27,7 @@ let push_front t page =
    | Some old -> old.prev <- Some node
    | None -> t.last <- Some node);
   t.first <- Some node;
-  Hashtbl.replace t.index page node;
+  Int_table.Poly.set t.index page node;
   t.length <- t.length + 1
 
 let push_back t page =
@@ -36,7 +37,7 @@ let push_back t page =
    | Some old -> old.next <- Some node
    | None -> t.first <- Some node);
   t.last <- Some node;
-  Hashtbl.replace t.index page node;
+  Int_table.Poly.set t.index page node;
   t.length <- t.length + 1
 
 let unlink t node =
@@ -48,18 +49,18 @@ let unlink t node =
    | None -> t.last <- node.prev);
   node.prev <- None;
   node.next <- None;
-  Hashtbl.remove t.index node.page;
+  ignore (Int_table.Poly.remove t.index node.page);
   t.length <- t.length - 1
 
 let remove t page =
-  match Hashtbl.find_opt t.index page with
+  match Int_table.Poly.find t.index page with
   | None -> false
   | Some node ->
     unlink t node;
     true
 
 let move_to_front t page =
-  match Hashtbl.find_opt t.index page with
+  match Int_table.Poly.find t.index page with
   | None -> invalid_arg "Page_list.move_to_front: absent page"
   | Some node ->
     unlink t node;

@@ -16,15 +16,20 @@ val is_empty : t -> bool
 val mem : t -> int -> bool
 
 val push_front : t -> int -> unit
-(** Raises [Invalid_argument] if the page is already in the list. *)
+(** Raises [Invalid_argument] if the page is already in the list.
+
+    @raise Invalid_argument if the page is already present. *)
 
 val push_back : t -> int -> unit
+(** @raise Invalid_argument if the page is already present. *)
 
 val remove : t -> int -> bool
 (** Returns whether the page was present. *)
 
 val move_to_front : t -> int -> unit
-(** Raises [Invalid_argument] if absent. *)
+(** Raises [Invalid_argument] if absent.
+
+    @raise Invalid_argument if the page is absent. *)
 
 val front : t -> int option
 

@@ -20,3 +20,4 @@ val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
     calls.  With [domains = 1] this is [List.map]. *)
 
 val map_array : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
+(** @raise Invalid_argument if [domains] is given and less than 1. *)

@@ -20,7 +20,7 @@ let map_array ?domains f input =
       let worker () =
         let rec loop () =
           let i = Atomic.fetch_and_add next 1 in
-          if i < n && Atomic.get failure = None then begin
+          if i < n && Option.is_none (Atomic.get failure) then begin
             (match f input.(i) with
              | result -> results.(i) <- Some result
              | exception e ->

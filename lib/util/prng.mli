@@ -31,10 +31,14 @@ val bits : t -> int
 
 val int : t -> int -> int
 (** [int t n] is uniform on [0, n).  Requires [n > 0].  Uses rejection
-    sampling, so the result is exactly uniform. *)
+    sampling, so the result is exactly uniform.
+
+    @raise Invalid_argument if [n <= 0]. *)
 
 val int_in_range : t -> lo:int -> hi:int -> int
-(** Uniform on the inclusive range [lo, hi].  Requires [lo <= hi]. *)
+(** Uniform on the inclusive range [lo, hi].  Requires [lo <= hi].
+
+    @raise Invalid_argument if [lo > hi]. *)
 
 val float : t -> float
 (** Uniform on [0, 1), with 53 bits of precision. *)

@@ -9,18 +9,25 @@ type t = Prng.t -> int
 (** A sampler maps generator state to an index. *)
 
 val uniform : n:int -> t
-(** Uniform on [0, n). *)
+(** Uniform on [0, n).
+
+    @raise Invalid_argument if the support is empty. *)
 
 val bounded_pareto : alpha:float -> n:int -> t
 (** Bounded Pareto on {1, …, n} mapped to [0, n): probability of rank
     [i] proportional to [(i+1)^-(alpha+1)], sampled by inverse
     transform on the continuous bounded Pareto and floored.  This is
-    the paper's edge-destination distribution. *)
+    the paper's edge-destination distribution.
+
+    @raise Invalid_argument if the support is empty or
+    [alpha <= 0]. *)
 
 val zipf : s:float -> n:int -> t
 (** Zipf with exponent [s] on [0, n): P(i) proportional to
     [(i+1)^-s].  Uses rejection-inversion (Hörmann–Derflinger), which
-    is exact and O(1) per sample for any [n]. *)
+    is exact and O(1) per sample for any [n].
+
+    @raise Invalid_argument if the support is empty or [s <= 0]. *)
 
 type discrete
 (** An arbitrary finite distribution, sampled in O(1) via Walker's
@@ -28,11 +35,16 @@ type discrete
 
 val discrete : float array -> discrete
 (** Build the alias table from non-negative weights (need not sum to
-    one; must not all be zero). *)
+    one; must not all be zero).
+
+    @raise Invalid_argument if [weights] is empty, any weight is
+    negative, or all weights are zero. *)
 
 val sample_discrete : discrete -> Prng.t -> int
 
 val mixture : (float * t) array -> t
 (** [mixture [| (p1, s1); …; (pk, sk) |]] picks branch [i] with
     probability proportional to [pi] and delegates.  The bimodal
-    workload is [mixture [| (0.9999, hot); (0.0001, cold) |]]. *)
+    workload is [mixture [| (0.9999, hot); (0.0001, cold) |]].
+
+    @raise Invalid_argument if there are no branches. *)

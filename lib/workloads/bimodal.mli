@@ -13,4 +13,7 @@ val create :
 (** [hot_fraction] defaults to 0.9999 (99.99%, the paper's split).  The
     hot region is placed at a random page-aligned offset drawn from the
     generator.  Raises [Invalid_argument] if the hot region does not
-    fit. *)
+    fit.
+
+    @raise Invalid_argument if [hot_fraction] is outside (0, 1] or
+    the hot region does not fit the space. *)

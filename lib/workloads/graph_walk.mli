@@ -15,4 +15,7 @@ val create :
   Atp_util.Prng.t ->
   Workload.t
 (** [alpha] defaults to 0.01 (the paper's Pareto constant);
-    [out_degree] defaults to [max 2 (log2 virtual_pages)]. *)
+    [out_degree] defaults to [max 2 (log2 virtual_pages)].
+
+    @raise Invalid_argument if [virtual_pages < 2] or
+    [out_degree < 1]. *)

@@ -8,7 +8,9 @@
 
 val gups : table_pages:int -> Atp_util.Prng.t -> Workload.t
 (** Giga-updates-per-second: uniformly random read-modify-writes over
-    a large table — zero locality, the canonical TLB killer. *)
+    a large table — zero locality, the canonical TLB killer.
+
+    @raise Invalid_argument if the table is empty. *)
 
 val stencil :
   ?iterations:int -> rows:int -> cols:int -> unit -> Workload.t
@@ -16,14 +18,19 @@ val stencil :
     each cell touches the pages of its N/W/center/E/S neighbors in
     order.  Dense, predictable, huge-page friendly.  [iterations]
     bounds nothing — the sweep repeats forever; it only sizes the
-    description. *)
+    description.
+
+    @raise Invalid_argument if the grid is smaller than 3x3. *)
 
 val multistream :
   streams:int -> virtual_pages:int -> unit -> Workload.t
 (** [streams] interleaved sequential scans over disjoint partitions of
     the space — a merge phase or a multi-threaded copy.  Sequential
     per stream, so TLB-friendly, but the working set is the sum of all
-    stream fronts. *)
+    stream fronts.
+
+    @raise Invalid_argument if [streams < 1] or the space is smaller
+    than the stream count. *)
 
 val embedding_lookup :
   ?batch:int ->
@@ -35,11 +42,17 @@ val embedding_lookup :
     motivation): each step draws [batch] (default 16) Zipf-popular
     rows and reads each row's [vector_pages] (default 2) consecutive
     pages.  Hot rows give temporal reuse; the row table itself is far
-    too large for the TLB. *)
+    too large for the TLB.
+
+    @raise Invalid_argument on a bad batch, row count, or vector
+    size. *)
 
 val pointer_chase :
   ?working_set:int -> virtual_pages:int -> Atp_util.Prng.t -> Workload.t
 (** A random cyclic permutation walked one hop per access (linked-list
     traversal): every access is a dependent random page — no spatial
     locality, perfect temporal recurrence at the cycle length.
-    [working_set] defaults to [virtual_pages]. *)
+    [working_set] defaults to [virtual_pages].
+
+    @raise Invalid_argument if the space or the working set is too
+    small. *)

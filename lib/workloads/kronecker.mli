@@ -13,7 +13,10 @@ type csr = {
 val generate : ?scale:int -> ?edge_factor:int -> Atp_util.Prng.t -> csr
 (** [scale] defaults to 16 (2^16 vertices); [edge_factor] defaults to
     16 edges per vertex, both per the graph500 benchmark.  The result
-    stores each undirected edge in both directions. *)
+    stores each undirected edge in both directions.
+
+    @raise Invalid_argument unless [scale] is in 1..30 and
+    [edge_factor >= 1]. *)
 
 val degree : csr -> int -> int
 

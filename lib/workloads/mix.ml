@@ -61,7 +61,7 @@ let round_robin ~quantum workloads =
   }
 
 let phases spec =
-  if spec = [] then invalid_arg "Mix.phases: no phases";
+  (match spec with [] -> invalid_arg "Mix.phases: no phases" | _ :: _ -> ());
   List.iter
     (fun (n, _) -> if n < 1 then invalid_arg "Mix.phases: bad phase length")
     spec;

@@ -7,19 +7,30 @@
 
 val offset : by:int -> Workload.t -> Workload.t
 (** Shift every page by [by] (disjoint address ranges for tenants).
-    [virtual_pages] grows accordingly. *)
+    [virtual_pages] grows accordingly.
+
+    @raise Invalid_argument if [by < 0]. *)
 
 val interleave :
   ?weights:float array -> Workload.t array -> Atp_util.Prng.t -> Workload.t
 (** Each access comes from workload [i] with probability proportional
     to [weights.(i)] (uniform by default).  Address spaces are NOT
     offset automatically — combine with {!offset} for disjoint
-    tenants. *)
+    tenants.
+
+    @raise Invalid_argument if there are no workloads or the weight
+    array length does not match. *)
 
 val round_robin : quantum:int -> Workload.t array -> Workload.t
 (** Deterministic scheduling: [quantum] accesses from each workload in
-    turn — a time-sliced CPU. *)
+    turn — a time-sliced CPU.
+
+    @raise Invalid_argument if there are no workloads or
+    [quantum < 1]. *)
 
 val phases : (int * Workload.t) list -> Workload.t
 (** [phases [(n1, w1); (n2, w2); …]] plays [n1] accesses of [w1], then
-    [n2] of [w2], …, cycling forever — program phase behaviour. *)
+    [n2] of [w2], …, cycling forever — program phase behaviour.
+
+    @raise Invalid_argument if [spec] is empty or a phase length is
+    less than 1. *)

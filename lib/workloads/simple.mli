@@ -1,13 +1,18 @@
 (** Elementary reference patterns, for calibration and tests. *)
 
 val uniform : virtual_pages:int -> Atp_util.Prng.t -> Workload.t
+(** @raise Invalid_argument if the space is empty. *)
 
 val sequential : virtual_pages:int -> unit -> Workload.t
 (** 0, 1, 2, …, wrapping: the classic scan that defeats LRU when the
-    cache is one page too small. *)
+    cache is one page too small.
+
+    @raise Invalid_argument if the space is empty. *)
 
 val strided : stride:int -> virtual_pages:int -> unit -> Workload.t
-(** 0, s, 2s, …, wrapping. *)
+(** 0, s, 2s, …, wrapping.
+
+    @raise Invalid_argument if the space is empty or [stride < 1]. *)
 
 val zipf : ?s:float -> virtual_pages:int -> Atp_util.Prng.t -> Workload.t
 (** Zipf-popular pages ([s] defaults to 1.0): a generic skewed
@@ -15,4 +20,7 @@ val zipf : ?s:float -> virtual_pages:int -> Atp_util.Prng.t -> Workload.t
 
 val looping : window:int -> virtual_pages:int -> unit -> Workload.t
 (** Cyclic scan over the first [window] pages — OPT's canonical
-    advantage case over LRU. *)
+    advantage case over LRU.
+
+    @raise Invalid_argument on a window that is empty or larger than
+    the space. *)

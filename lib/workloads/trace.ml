@@ -27,6 +27,17 @@ let summarize trace =
     }
   end
 
+exception Parse_error of { path : string; what : string }
+
+let () =
+  Printexc.register_printer (function
+    | Parse_error { path; what } ->
+      Some (Printf.sprintf "Trace.Parse_error(%s: %s)" path what)
+    | _ -> None)
+
+let parse_error path fmt =
+  Printf.ksprintf (fun what -> raise (Parse_error { path; what })) fmt
+
 let with_out path f =
   let oc = open_out_bin path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
@@ -51,7 +62,7 @@ let load_text path =
              | Some page ->
                acc := page :: !acc;
                incr count
-             | None -> failwith (Printf.sprintf "Trace.load_text: bad line %S" line)
+             | None -> parse_error path "bad line %S" line
            end
          done
        with End_of_file -> ());
@@ -82,13 +93,16 @@ let save_binary path trace =
 
 let load_binary path =
   with_in path (fun ic ->
-      let m = really_input_string ic 4 in
-      if m <> magic then failwith "Trace.load_binary: bad magic";
+      let m =
+        try really_input_string ic 4
+        with End_of_file -> parse_error path "truncated magic"
+      in
+      if not (String.equal m magic) then parse_error path "bad magic";
       match read_u64 ic with
-      | exception End_of_file -> failwith "Trace.load_binary: truncated header"
+      | exception End_of_file -> parse_error path "truncated header"
       | n ->
         (try Array.init n (fun _ -> read_u64 ic)
-         with End_of_file -> failwith "Trace.load_binary: truncated body"))
+         with End_of_file -> parse_error path "truncated body"))
 
 let pp_summary ppf s =
   Format.fprintf ppf "length=%a footprint=%a pages=[%d, %d]"

@@ -9,21 +9,26 @@ type summary = {
   max_page : int;
 }
 
+exception Parse_error of { path : string; what : string }
+(** A trace file that cannot be decoded: bad magic, truncated frame,
+    or a malformed text line.  [path] is the offending file and [what]
+    a human-readable description. *)
+
 val summarize : int array -> summary
 
 val save_text : string -> int array -> unit
 (** One decimal page number per line. *)
 
 val load_text : string -> int array
-(** Ignores blank lines and [#]-comments; raises [Failure] on a
-    malformed line. *)
+(** Ignores blank lines and [#]-comments.
+    @raise Parse_error on a malformed line. *)
 
 val save_binary : string -> int array -> unit
 (** A small framed format: magic "ATPT", a 64-bit little-endian count,
     then 64-bit little-endian page numbers. *)
 
 val load_binary : string -> int array
-(** Raises [Failure] on bad magic or a truncated file. *)
+(** @raise Parse_error on bad magic or a truncated file. *)
 
 val pp_summary : Format.formatter -> summary -> unit
 
@@ -31,7 +36,9 @@ val replay : ?loop:bool -> int array -> Workload.t
 (** Turn a recorded trace into a workload.  With [loop] (default
     true) the trace wraps around; otherwise exhausting it raises
     [End_of_file] — useful when the consumer must not silently
-    recycle. *)
+    recycle.
+
+    @raise Invalid_argument if the trace is empty. *)
 
 val workload_of_file : ?loop:bool -> string -> Workload.t
 (** {!replay} over {!load_text} or {!load_binary}, picked by the

@@ -1,0 +1,7 @@
+(* Clean despite two would-be violations: the missing interface is
+   excused by a file-wide floating attribute, and the Random use by a
+   binding-level attribute.  Exercises both suppression forms. *)
+
+[@@@atplint.allow "mli-coverage"]
+
+let roll () = Stdlib.Random.int 6 [@@atplint.allow "determinism"]

@@ -1,0 +1,8 @@
+(* Violates determinism: ambient randomness, wall-clock time, and the
+   seed-sensitive polymorphic hash. *)
+
+let roll () = Stdlib.Random.int 6
+
+let stamp () = Sys.time ()
+
+let digest x = Hashtbl.hash x

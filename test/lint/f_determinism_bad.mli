@@ -1,0 +1,5 @@
+val roll : unit -> int
+
+val stamp : unit -> float
+
+val digest : 'a -> int

@@ -1,0 +1,5 @@
+(* Clean: randomness flows through the seeded Util.Prng. *)
+
+let rng = Atp_util.Prng.create ~seed:42 ()
+
+let roll () = Atp_util.Prng.int rng 6

@@ -1,0 +1,4 @@
+(* Violates exception-contract: an exported function that can raise via
+   [failwith], with no @raise tag on its interface documentation. *)
+
+let checked_div a b = if b = 0 then failwith "division by zero" else a / b

@@ -1,0 +1,2 @@
+val checked_div : int -> int -> int
+(** Integer division that rejects a zero divisor. *)

@@ -1,0 +1,5 @@
+(* Clean: the possible raise is part of the documented contract. *)
+
+let checked_get arr i =
+  if i < 0 || i >= Array.length arr then invalid_arg "f_exc_ok.checked_get";
+  arr.(i)

@@ -1,0 +1,4 @@
+val checked_get : int array -> int -> int
+(** Bounds-checked array read.
+
+    @raise Invalid_argument if the index is out of bounds. *)

@@ -1,0 +1,5 @@
+(* Violates hot-path-hashing: a polymorphic Hashtbl keyed by int. *)
+
+let table : (int, string) Hashtbl.t = Hashtbl.create 16
+
+let add k v = Hashtbl.replace table k v

@@ -1,0 +1,3 @@
+val table : (int, string) Hashtbl.t
+
+val add : int -> string -> unit

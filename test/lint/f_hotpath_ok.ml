@@ -1,0 +1,11 @@
+(* Clean: int keys go through the open-addressing Util.Int_table;
+   polymorphic Hashtbl is fine for non-int keys. *)
+
+let by_name : (string, int) Hashtbl.t = Hashtbl.create 16
+
+let table : string Atp_util.Int_table.Poly.t =
+  Atp_util.Int_table.Poly.create ()
+
+let add k v = Atp_util.Int_table.Poly.set table k v
+
+let find_name n = Hashtbl.find_opt by_name n

@@ -1,0 +1,7 @@
+val by_name : (string, int) Hashtbl.t
+
+val table : string Atp_util.Int_table.Poly.t
+
+val add : int -> string -> unit
+
+val find_name : string -> int option

@@ -1,0 +1,3 @@
+(* Violates mli-coverage: a module with no interface file. *)
+
+let answer = 42

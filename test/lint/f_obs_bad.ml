@@ -1,0 +1,8 @@
+(* Violates obs-naming: metric names must be dotted lowercase
+   ([a-z0-9_] segments separated by dots). *)
+
+let scope = Atp_obs.Scope.null ()
+
+let misses = Atp_obs.Scope.counter scope "TLB-Misses"
+
+let depth = Atp_obs.Scope.gauge scope "walk.Depth"

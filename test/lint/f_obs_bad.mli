@@ -1,0 +1,5 @@
+val scope : Atp_obs.Scope.t
+
+val misses : Atp_obs.Counter.t
+
+val depth : Atp_obs.Gauge.t

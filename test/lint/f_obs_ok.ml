@@ -1,0 +1,8 @@
+(* Clean: dotted lowercase metric names throughout. *)
+
+let scope = Atp_obs.Scope.null ()
+
+let hits = Atp_obs.Scope.counter scope "tlb.hits"
+
+let walk_steps =
+  Atp_obs.Scope.counter (Atp_obs.Scope.sub scope "walker") "steps"

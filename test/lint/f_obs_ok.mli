@@ -1,0 +1,5 @@
+val scope : Atp_obs.Scope.t
+
+val hits : Atp_obs.Counter.t
+
+val walk_steps : Atp_obs.Counter.t

@@ -1,0 +1,8 @@
+(* Violates no-poly-compare: structural (=) and [compare] instantiated
+   at a record type carrying a mutable cell. *)
+
+type config = { name : string; cache : int ref }
+
+let same (a : config) (b : config) = a = b
+
+let sort_all (l : config list) = List.sort compare l

@@ -1,0 +1,5 @@
+type config = { name : string; cache : int ref }
+
+val same : config -> config -> bool
+
+val sort_all : config list -> config list

@@ -1,0 +1,9 @@
+(* Clean: comparisons at immediate and immutable-structural types. *)
+
+type level = Low | Mid | High
+
+let max_level (a : level) (b : level) = max a b
+
+let same_page (a : int) (b : int) = a = b
+
+let first_hit (a : int option) (b : int option) = min a b

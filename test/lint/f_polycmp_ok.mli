@@ -1,0 +1,7 @@
+type level = Low | Mid | High
+
+val max_level : level -> level -> level
+
+val same_page : int -> int -> bool
+
+val first_hit : int option -> int option -> int option

@@ -208,7 +208,8 @@ let test_trace_binary_bad_magic () =
       let oc = open_out path in
       output_string oc "NOPE00000000";
       close_out oc;
-      Alcotest.check_raises "bad magic" (Failure "Trace.load_binary: bad magic")
+      Alcotest.check_raises "bad magic"
+        (Trace.Parse_error { path; what = "bad magic" })
         (fun () -> ignore (Trace.load_binary path)))
 
 let test_trace_summary () =

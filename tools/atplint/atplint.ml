@@ -1,0 +1,220 @@
+(* atplint — static analysis over the compiler's typed ASTs (.cmt)
+   enforcing the project invariants described in docs/LINTING.md.
+
+   Usage:
+     atplint [--root DIR] [--config FILE] [--only R1,R2] [--no-scope] PATH...
+
+   PATHs are .cmt files or directories searched recursively.  Run it
+   from the dune build context root (dune build @lint does) so the
+   load paths recorded in the .cmt files resolve.
+
+   Exit codes: 0 clean (or warnings only), 1 at least one error-level
+   diagnostic, 2 operational failure (unreadable file, bad config). *)
+
+let root = ref "."
+let config_file = ref ""
+let only = ref []
+let no_scope = ref false
+let paths = ref []
+
+let usage = "atplint [options] <.cmt file or directory>..."
+
+let list_rules () =
+  List.iter
+    (fun (r : Rules.rule) ->
+      Printf.printf "%-20s %s\n" r.name r.summary;
+      Printf.printf "%-20s scope: %s\n" "" (String.concat " " r.scopes))
+    Rules.all_rules;
+  exit 0
+
+let args =
+  [
+    ("--root", Arg.Set_string root,
+     "DIR repository root used to resolve interface files (default .)");
+    ("--config", Arg.Set_string config_file,
+     "FILE atplint.toml with per-path allowlists and severities");
+    ("--only",
+     Arg.String
+       (fun s -> only := String.split_on_char ',' s |> List.map String.trim),
+     "R1,R2 run only the named rules");
+    ("--no-scope", Arg.Set no_scope,
+     " apply every rule to every file (fixture testing)");
+    ("--list-rules", Arg.Unit list_rules, " print the rules and exit");
+  ]
+
+let fatal fmt =
+  Printf.ksprintf
+    (fun s ->
+      prerr_endline ("atplint: " ^ s);
+      exit 2)
+    fmt
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let normalize_path f =
+  if starts_with ~prefix:"./" f then String.sub f 2 (String.length f - 2)
+  else f
+
+(* --- cmt discovery ------------------------------------------------ *)
+
+let rec find_cmts acc path =
+  if Sys.is_directory path then
+    Array.fold_left
+      (fun acc entry -> find_cmts acc (Filename.concat path entry))
+      acc (Sys.readdir path)
+  else if Filename.check_suffix path ".cmt" then path :: acc
+  else acc
+
+(* --- interface-side information ----------------------------------- *)
+
+let attr_doc_strings (attrs : Parsetree.attributes) =
+  List.filter_map
+    (fun (a : Parsetree.attribute) ->
+      if a.attr_name.txt <> "ocaml.doc" && a.attr_name.txt <> "doc" then None
+      else
+        match a.attr_payload with
+        | PStr
+            [
+              {
+                pstr_desc =
+                  Pstr_eval
+                    ( { pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ },
+                      _ );
+                _;
+              };
+            ] ->
+          Some s
+        | _ -> None)
+    attrs
+
+let contains_raise doc =
+  (* Look for the odoc tag, not the bare word: "@raise". *)
+  let n = String.length doc in
+  let rec go i =
+    if i + 6 > n then false
+    else if String.sub doc i 6 = "@raise" then true
+    else go (i + 1)
+  in
+  go 0
+
+(* Parse the interface source and return the exported values that have
+   no @raise in their attached doc comment. *)
+let undocumented_exports mli_path =
+  let ic = open_in_bin mli_path in
+  let source =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let lexbuf = Lexing.from_string source in
+  Lexing.set_filename lexbuf mli_path;
+  match Parse.interface lexbuf with
+  | exception _ ->
+    prerr_endline
+      ("atplint: warning: could not parse " ^ mli_path
+     ^ "; skipping exception-contract for it");
+    []
+  | signature ->
+    List.filter_map
+      (fun (item : Parsetree.signature_item) ->
+        match item.psig_desc with
+        | Psig_value vd ->
+          let docs = attr_doc_strings vd.pval_attributes in
+          if List.exists contains_raise docs then None
+          else Some vd.pval_name.txt
+        | _ -> None)
+      signature
+
+(* --- per-file processing ------------------------------------------ *)
+
+let process ~cfg ~diags cmt_path =
+  let cmt =
+    try Cmt_format.read_cmt cmt_path
+    with exn ->
+      fatal "cannot read %s: %s" cmt_path (Printexc.to_string exn)
+  in
+  match (cmt.cmt_annots, cmt.cmt_sourcefile) with
+  | Cmt_format.Implementation str, Some source
+    when Filename.check_suffix source ".ml" ->
+    let file = normalize_path source in
+    let in_scope (r : Rules.rule) =
+      !no_scope || List.exists (fun p -> starts_with ~prefix:p file) r.scopes
+    in
+    let enabled (r : Rules.rule) =
+      (!only = [] || List.mem r.name !only) && in_scope r
+    in
+    let active name =
+      match List.find_opt (fun (r : Rules.rule) -> r.name = name) Rules.all_rules with
+      | Some r -> enabled r
+      | None -> false
+    in
+    if List.exists enabled Rules.all_rules then begin
+      (* Rebuild enough typing environment for type-driven rules: the
+         load path recorded at compile time plus the cmt's own
+         directory. *)
+      Load_path.init ~auto_include:Load_path.no_auto_include
+        (cmt.cmt_loadpath @ [ Filename.dirname cmt_path ]);
+      Envaux.reset_cache ();
+      let mli_rel = Filename.remove_extension file ^ ".mli" in
+      let mli_fs = Filename.concat !root mli_rel in
+      let mli_exists = Sys.file_exists mli_fs in
+      let exported_undoc = Hashtbl.create 16 in
+      if mli_exists && active "exception-contract" then
+        List.iter
+          (fun v -> Hashtbl.replace exported_undoc v mli_rel)
+          (undocumented_exports mli_fs);
+      let mli_missing =
+        if mli_exists then None else Some (Location.in_file file)
+      in
+      let file_diags =
+        Rules.run ~cfg ~file ~active ~exported_undoc ~mli_missing str
+      in
+      diags := file_diags @ !diags
+    end
+  | _ -> ()
+
+(* --- main --------------------------------------------------------- *)
+
+let () =
+  Arg.parse args (fun p -> paths := p :: !paths) usage;
+  if !paths = [] then begin
+    prerr_endline usage;
+    exit 2
+  end;
+  List.iter
+    (fun r ->
+      if not (List.exists (fun (x : Rules.rule) -> x.name = r) Rules.all_rules)
+      then fatal "unknown rule %S (see --list-rules)" r)
+    !only;
+  let cfg =
+    if !config_file = "" then Lint_config.empty
+    else
+      try Lint_config.load !config_file with
+      | Lint_config.Config_error msg -> fatal "%s: %s" !config_file msg
+      | Sys_error msg -> fatal "%s" msg
+  in
+  let cmts =
+    List.fold_left
+      (fun acc p ->
+        if not (Sys.file_exists p) then fatal "no such path: %s" p
+        else find_cmts acc p)
+      [] !paths
+    |> List.sort String.compare
+  in
+  let diags = ref [] in
+  List.iter (process ~cfg ~diags) cmts;
+  let compare_full a b =
+    let c = Diagnostic.compare a b in
+    if c <> 0 then c else String.compare a.Diagnostic.message b.Diagnostic.message
+  in
+  let sorted = List.sort_uniq compare_full !diags in
+  List.iter (fun d -> Format.printf "%a@." Diagnostic.pp d) sorted;
+  let errors, warnings =
+    List.partition (fun d -> d.Diagnostic.severity = Diagnostic.Error) sorted
+  in
+  if sorted <> [] then
+    Format.printf "atplint: %d error(s), %d warning(s)@." (List.length errors)
+      (List.length warnings);
+  exit (if errors <> [] then 1 else 0)

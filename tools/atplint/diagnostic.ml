@@ -1,0 +1,54 @@
+(* A single finding: rule, severity, position, message.  The printed
+   form is the stable machine interface — CI greps it and the golden
+   test diffs it — so changes here are format changes and need the
+   golden refreshed. *)
+
+type severity =
+  | Error
+  | Warning
+
+type t = {
+  file : string;   (* source path as recorded in the .cmt, normalized *)
+  line : int;      (* 1-based *)
+  col : int;       (* 0-based, matching the compiler's own messages *)
+  rule : string;
+  severity : severity;
+  message : string;
+}
+
+let severity_string = function Error -> "error" | Warning -> "warning"
+
+let compare a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c else String.compare a.rule b.rule
+
+let pp ppf d =
+  Format.fprintf ppf "%s:%d:%d: %s [%s] %s" d.file d.line d.col
+    (severity_string d.severity) d.rule d.message
+
+let of_location ~rule ~severity ~message (loc : Location.t) =
+  let pos = loc.loc_start in
+  let file =
+    (* The compiler records the path it was invoked with; strip any
+       leading "./" so output is uniform. *)
+    let f = pos.pos_fname in
+    if String.length f > 2 && String.sub f 0 2 = "./" then
+      String.sub f 2 (String.length f - 2)
+    else f
+  in
+  {
+    file;
+    (* Synthetic whole-file locations (e.g. mli-coverage) carry dummy
+       positions; clamp so they render as file:1:0. *)
+    line = max 1 pos.pos_lnum;
+    col = max 0 (pos.pos_cnum - pos.pos_bol);
+    rule;
+    severity;
+    message;
+  }

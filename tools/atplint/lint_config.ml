@@ -1,0 +1,117 @@
+(* atplint.toml: a deliberately tiny TOML subset, since the toolchain
+   image ships no TOML library.  Supported grammar:
+
+     # comment
+     [allow]
+     "rule-name" = ["path/prefix", "other/prefix"]
+     [severity]
+     "rule-name" = "warning"
+
+   Keys may be bare or double-quoted; values are a double-quoted
+   string or a [ ... ] array of double-quoted strings on one line.
+   Anything else is a config error (we fail loudly rather than
+   silently ignoring an allowlist entry). *)
+
+type t = {
+  allow : (string * string list) list;     (* rule -> path prefixes *)
+  severity : (string * Diagnostic.severity) list;
+}
+
+let empty = { allow = []; severity = [] }
+
+exception Config_error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Config_error s)) fmt
+
+let strip_comment line =
+  (* A # outside quotes starts a comment. *)
+  let buf = Buffer.create (String.length line) in
+  let in_string = ref false in
+  (try
+     String.iter
+       (fun c ->
+         if c = '"' then in_string := not !in_string;
+         if c = '#' && not !in_string then raise Exit;
+         Buffer.add_char buf c)
+       line
+   with Exit -> ());
+  Buffer.contents buf
+
+let unquote ~lineno s =
+  let s = String.trim s in
+  let n = String.length s in
+  if n >= 2 && s.[0] = '"' && s.[n - 1] = '"' then String.sub s 1 (n - 2)
+  else if n > 0 && String.for_all (fun c -> c <> '"' && c <> '[') s then s
+  else error "line %d: expected a (quoted) string, got %S" lineno s
+
+let parse_array ~lineno s =
+  let s = String.trim s in
+  let n = String.length s in
+  if not (n >= 2 && s.[0] = '[' && s.[n - 1] = ']') then
+    error "line %d: expected [ ... ] array, got %S" lineno s
+  else
+    let body = String.trim (String.sub s 1 (n - 2)) in
+    if body = "" then []
+    else
+      String.split_on_char ',' body
+      |> List.map String.trim
+      |> List.filter (fun x -> x <> "")
+      |> List.map (fun x -> unquote ~lineno x)
+
+let severity_of_string ~lineno = function
+  | "error" -> Diagnostic.Error
+  | "warning" -> Diagnostic.Warning
+  | s -> error "line %d: unknown severity %S (want error|warning)" lineno s
+
+let load path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) @@ fun () ->
+  let cfg = ref empty in
+  let section = ref "" in
+  let lineno = ref 0 in
+  (try
+     while true do
+       let raw = input_line ic in
+       incr lineno;
+       let line = String.trim (strip_comment raw) in
+       let n = String.length line in
+       if line = "" then ()
+       else if n >= 2 && line.[0] = '[' && line.[n - 1] = ']' then
+         section := String.trim (String.sub line 1 (n - 2))
+       else
+         match String.index_opt line '=' with
+         | None -> error "line %d: expected key = value, got %S" !lineno line
+         | Some eq ->
+           let key = unquote ~lineno:!lineno (String.sub line 0 eq) in
+           let value = String.trim (String.sub line (eq + 1) (n - eq - 1)) in
+           (match !section with
+            | "allow" ->
+              let prefixes = parse_array ~lineno:!lineno value in
+              cfg := { !cfg with allow = (key, prefixes) :: !cfg.allow }
+            | "severity" ->
+              let sev =
+                severity_of_string ~lineno:!lineno
+                  (unquote ~lineno:!lineno value)
+              in
+              cfg := { !cfg with severity = (key, sev) :: !cfg.severity }
+            | "" -> error "line %d: key outside of a [section]" !lineno
+            | s -> error "line %d: unknown section [%s]" !lineno s)
+     done
+   with End_of_file -> ());
+  !cfg
+
+let path_has_prefix ~prefix path =
+  let lp = String.length prefix and lf = String.length path in
+  lp <= lf && String.sub path 0 lp = prefix
+
+(* Is [rule] allowlisted for [file] by the config? *)
+let allows cfg ~rule ~file =
+  List.exists
+    (fun (r, prefixes) ->
+      r = rule && List.exists (fun p -> path_has_prefix ~prefix:p file) prefixes)
+    cfg.allow
+
+let severity cfg ~rule ~default =
+  match List.assoc_opt rule cfg.severity with
+  | Some s -> s
+  | None -> default

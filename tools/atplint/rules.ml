@@ -1,0 +1,342 @@
+(* The six atplint rules, run over one typed implementation via
+   Tast_iterator.
+
+   Suppression layers, innermost first:
+     - [@atplint.allow "rule"] on an expression or let-binding,
+     - [@@@atplint.allow "rule"] floating at the top of the file,
+     - a per-path allowlist in atplint.toml. *)
+
+open Typedtree
+
+type rule = {
+  name : string;
+  summary : string;
+  (* Source-path prefixes (relative to the repo root) the rule applies
+     to by default; [--no-scope] widens every rule to every file. *)
+  scopes : string list;
+}
+
+let all_rules =
+  [
+    {
+      name = "determinism";
+      summary =
+        "no Stdlib.Random / Sys.time / Unix.gettimeofday / Hashtbl.hash \
+         in lib/; all randomness flows through Util.Prng";
+      scopes = [ "lib/" ];
+    };
+    {
+      name = "hot-path-hashing";
+      summary =
+        "no polymorphic Hashtbl with int keys on simulator hot paths; \
+         use Util.Int_table";
+      scopes = [ "lib/tlb/"; "lib/paging/"; "lib/memsim/" ];
+    };
+    {
+      name = "no-poly-compare";
+      summary =
+        "no polymorphic =, <>, compare, min, max at non-immediate types";
+      scopes = [ "lib/" ];
+    };
+    {
+      name = "exception-contract";
+      summary =
+        "failwith/invalid_arg inside an .mli-exported value requires an \
+         @raise in the .mli doc comment";
+      scopes = [ "lib/" ];
+    };
+    {
+      name = "mli-coverage";
+      summary = "every library module ships an interface";
+      scopes = [ "lib/" ];
+    };
+    {
+      name = "obs-naming";
+      summary =
+        "string literals registered with Obs follow the dotted.lowercase \
+         metric naming scheme";
+      scopes = [ "lib/" ];
+    };
+  ]
+
+type ctx = {
+  cfg : Lint_config.t;
+  file : string;
+  active : string -> bool;  (* is the rule enabled for this file? *)
+  mutable stack : string list list;  (* [@atplint.allow] scopes *)
+  mutable file_allows : string list; (* [@@@atplint.allow] *)
+  mutable current_top : string option; (* enclosing top-level binding *)
+  (* exported value name -> interface file lacking an @raise for it *)
+  exported_undoc : (string, string) Hashtbl.t;
+  mutable diags : Diagnostic.t list;
+}
+
+let emit ctx ~rule ~loc message =
+  if
+    ctx.active rule
+    && (not (List.mem rule ctx.file_allows))
+    && (not (List.exists (List.mem rule) ctx.stack))
+    && not (Lint_config.allows ctx.cfg ~rule ~file:ctx.file)
+  then
+    let severity =
+      Lint_config.severity ctx.cfg ~rule ~default:Diagnostic.Error
+    in
+    ctx.diags <- Diagnostic.of_location ~rule ~severity ~message loc :: ctx.diags
+
+(* --- attribute handling ------------------------------------------- *)
+
+let allow_payload (attr : Parsetree.attribute) =
+  if attr.attr_name.txt <> "atplint.allow" then None
+  else
+    match attr.attr_payload with
+    | PStr
+        [
+          {
+            pstr_desc =
+              Pstr_eval
+                ({ pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ }, _);
+            _;
+          };
+        ] ->
+      Some s
+    | _ -> None
+
+let allows_of_attributes attrs = List.filter_map allow_payload attrs
+
+let with_allows ctx attrs f =
+  match allows_of_attributes attrs with
+  | [] -> f ()
+  | allows ->
+    ctx.stack <- allows :: ctx.stack;
+    Fun.protect ~finally:(fun () -> ctx.stack <- List.tl ctx.stack) f
+
+(* --- path helpers ------------------------------------------------- *)
+
+let strip_stdlib name =
+  let p = "Stdlib." in
+  if String.length name > String.length p && String.sub name 0 (String.length p) = p
+  then String.sub name (String.length p) (String.length name - String.length p)
+  else name
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let ends_with ~suffix s =
+  let ls = String.length suffix and l = String.length s in
+  ls <= l && String.sub s (l - ls) ls = suffix
+
+(* --- rule: determinism -------------------------------------------- *)
+
+let forbidden_nondeterminism name =
+  let n = strip_stdlib name in
+  if starts_with ~prefix:"Random." n then
+    Some (n, "seed-ambient randomness")
+  else
+    match n with
+    | "Sys.time" -> Some (n, "wall-clock dependence")
+    | "Unix.gettimeofday" | "Unix.time" -> Some (n, "wall-clock dependence")
+    | "Hashtbl.hash" | "Hashtbl.seeded_hash" ->
+      Some (n, "unspecified polymorphic hashing")
+    | _ -> None
+
+let check_determinism ctx (e : expression) =
+  match e.exp_desc with
+  | Texp_ident (path, _, _) -> (
+    match forbidden_nondeterminism (Path.name path) with
+    | None -> ()
+    | Some (n, why) ->
+      emit ctx ~rule:"determinism" ~loc:e.exp_loc
+        (Printf.sprintf
+           "%s (%s) breaks run reproducibility; draw from Util.Prng" n why))
+  | _ -> ()
+
+(* --- rule: hot-path-hashing --------------------------------------- *)
+
+(* Walk through the arrows of an (instantiated) function type to its
+   result. *)
+let rec result_type env ty =
+  let ty = try Ctype.expand_head env ty with _ -> ty in
+  match Types.get_desc ty with
+  | Types.Tarrow (_, _, rest, _) -> result_type env rest
+  | _ -> ty
+
+let is_int_type env ty =
+  let ty = try Ctype.expand_head env ty with _ -> ty in
+  match Types.get_desc ty with
+  | Types.Tconstr (p, _, _) -> Path.same p Predef.path_int
+  | _ -> false
+
+let check_hot_path ctx env (e : expression) =
+  match e.exp_desc with
+  | Texp_ident (path, _, _)
+    when strip_stdlib (Path.name path) = "Hashtbl.create" -> (
+    let res = result_type env e.exp_type in
+    match Types.get_desc res with
+    | Types.Tconstr (p, key :: _, _)
+      when ends_with ~suffix:"Hashtbl.t" (Path.name p) && is_int_type env key
+      ->
+      emit ctx ~rule:"hot-path-hashing" ~loc:e.exp_loc
+        "polymorphic Hashtbl with int keys on a hot path; use Util.Int_table \
+         (or Util.Int_table.Poly for non-int payloads)"
+    | _ -> ())
+  | _ -> ()
+
+(* --- rule: no-poly-compare ---------------------------------------- *)
+
+let poly_compare_ops = [ "="; "<>"; "compare"; "min"; "max" ]
+
+let check_poly_compare ctx env (e : expression) =
+  match e.exp_desc with
+  | Texp_ident (path, _, _) ->
+    let n = strip_stdlib (Path.name path) in
+    if List.mem n poly_compare_ops && not (String.contains n '.') then begin
+      (* The ident's instantiated type is ('a -> 'a -> _) with 'a
+         resolved by unification; judge that first parameter. *)
+      let ty = try Ctype.expand_head env e.exp_type with _ -> e.exp_type in
+      match Types.get_desc ty with
+      | Types.Tarrow (_, arg, _, _) ->
+        if not (Type_safety.is_safe env arg) then
+          emit ctx ~rule:"no-poly-compare" ~loc:e.exp_loc
+            (Printf.sprintf
+               "polymorphic %s at type %s (not a tree of immutable \
+                immediates); use a type-specific comparison" n
+               (Type_safety.type_to_string arg))
+      | _ -> ()
+    end
+  | _ -> ()
+
+(* --- rule: exception-contract ------------------------------------- *)
+
+let check_exception_contract ctx (e : expression) =
+  match e.exp_desc with
+  | Texp_ident (path, _, _) -> (
+    let n = strip_stdlib (Path.name path) in
+    if (n = "failwith" || n = "invalid_arg") && not (String.contains n '.')
+    then
+      match ctx.current_top with
+      | Some top -> (
+        match Hashtbl.find_opt ctx.exported_undoc top with
+        | Some mli ->
+          emit ctx ~rule:"exception-contract" ~loc:e.exp_loc
+            (Printf.sprintf
+               "%s is reachable from exported value %S, but %s documents no \
+                @raise for it" n top mli)
+        | None -> ())
+      | None -> ())
+  | _ -> ()
+
+(* --- rule: obs-naming --------------------------------------------- *)
+
+let obs_registration path_name =
+  match List.rev (String.split_on_char '.' path_name) with
+  | fn :: m :: _ ->
+    (ends_with ~suffix:"Registry" m
+     && List.mem fn [ "counter"; "gauge"; "histogram"; "find_counter" ])
+    || (ends_with ~suffix:"Scope" m
+        && List.mem fn [ "counter"; "gauge"; "histogram"; "sub"; "v" ])
+  | _ -> false
+
+let valid_metric_name s =
+  let seg_ok seg =
+    String.length seg > 0
+    && (match seg.[0] with 'a' .. 'z' -> true | _ -> false)
+    && String.for_all
+         (function 'a' .. 'z' | '0' .. '9' | '_' -> true | _ -> false)
+         seg
+  in
+  s <> "" && List.for_all seg_ok (String.split_on_char '.' s)
+
+let check_obs_naming ctx (e : expression) =
+  match e.exp_desc with
+  | Texp_apply ({ exp_desc = Texp_ident (path, _, _); _ }, args)
+    when obs_registration (Path.name path) ->
+    List.iter
+      (fun (_, arg) ->
+        match arg with
+        | Some
+            {
+              exp_desc = Texp_constant (Const_string (s, _, _));
+              exp_loc = loc;
+              _;
+            }
+          when not (valid_metric_name s) ->
+          emit ctx ~rule:"obs-naming" ~loc
+            (Printf.sprintf
+               "metric name %S does not match the dotted.lowercase scheme \
+                ([a-z][a-z0-9_]*, dot-separated); exported metrics must stay \
+                stable" s)
+        | _ -> ())
+      args
+  | _ -> ()
+
+(* --- the iterator ------------------------------------------------- *)
+
+let env_of (e : expression) =
+  try Envaux.env_of_only_summary e.exp_env with _ -> e.exp_env
+
+let make_iterator ctx =
+  let default = Tast_iterator.default_iterator in
+  let expr sub (e : expression) =
+    with_allows ctx e.exp_attributes @@ fun () ->
+    let env = env_of e in
+    check_determinism ctx e;
+    check_hot_path ctx env e;
+    check_poly_compare ctx env e;
+    check_exception_contract ctx e;
+    check_obs_naming ctx e;
+    default.expr sub e
+  in
+  let value_binding sub (vb : value_binding) =
+    with_allows ctx vb.vb_attributes @@ fun () -> default.value_binding sub vb
+  in
+  let structure_item sub (item : structure_item) =
+    match item.str_desc with
+    | Tstr_value (_, vbs) ->
+      List.iter
+        (fun vb ->
+          let saved = ctx.current_top in
+          (match vb.vb_pat.pat_desc with
+           | Tpat_var (id, _) -> ctx.current_top <- Some (Ident.name id)
+           | _ -> ctx.current_top <- None);
+          sub.Tast_iterator.value_binding sub vb;
+          ctx.current_top <- saved)
+        vbs
+    | _ -> default.structure_item sub item
+  in
+  { default with expr; value_binding; structure_item }
+
+(* Floating [@@@atplint.allow "..."] anywhere in the file suppresses
+   the rule file-wide; collect them before walking so placement does
+   not matter. *)
+let collect_file_allows (str : structure) =
+  List.concat_map
+    (fun item ->
+      match item.str_desc with
+      | Tstr_attribute attr -> Option.to_list (allow_payload attr)
+      | _ -> [])
+    str.str_items
+
+let run ~cfg ~file ~active ~exported_undoc ~mli_missing (str : structure) =
+  let ctx =
+    {
+      cfg;
+      file;
+      active;
+      stack = [];
+      file_allows = collect_file_allows str;
+      current_top = None;
+      exported_undoc;
+      diags = [];
+    }
+  in
+  (match mli_missing with
+   | None -> ()
+   | Some loc ->
+     emit ctx ~rule:"mli-coverage" ~loc
+       (Printf.sprintf "module %s has no interface file; add %s"
+          (Filename.remove_extension (Filename.basename file))
+          (Filename.remove_extension file ^ ".mli")));
+  let it = make_iterator ctx in
+  it.structure it str;
+  ctx.diags

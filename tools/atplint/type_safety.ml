@@ -1,0 +1,90 @@
+(* Classifier behind the no-poly-compare rule: is polymorphic
+   structural comparison at this type obviously well-defined?
+
+   "Safe" means the value is a tree of immediates and immutable
+   structure: base scalars, constant constructors, and tuples /
+   options / lists / arrays / immutable records and variants thereof.
+   Everything else — abstract types (the functorized policy states the
+   rule exists for), functions, objects, first-class modules, mutable
+   records (identity semantics, possible cycles) — is flagged.
+
+   Judgments err toward "safe" when the environment cannot answer
+   (unresolvable path, reconstruction failure): a lint false negative
+   is better than a false positive the code cannot fix. *)
+
+open Types
+
+let safe_base_paths =
+  [
+    Predef.path_int;
+    Predef.path_char;
+    Predef.path_bool;
+    Predef.path_unit;
+    Predef.path_float;
+    Predef.path_string;
+    Predef.path_bytes;
+    Predef.path_int32;
+    Predef.path_int64;
+    Predef.path_nativeint;
+  ]
+
+let safe_container_paths =
+  [ Predef.path_option; Predef.path_list; Predef.path_array ]
+
+let rec is_safe env ~visited ~depth ty =
+  if depth > 32 then true
+  else
+    let ty = try Ctype.expand_head env ty with _ -> ty in
+    match get_desc ty with
+    | Tvar _ | Tunivar _ ->
+      (* Still polymorphic at this use site: the comparison is generic
+         code; the instantiating caller is where any concrete misuse
+         will be reported. *)
+      true
+    | Tarrow _ | Tobject _ | Tfield _ | Tpackage _ -> false
+    | Tpoly (ty, _) -> is_safe env ~visited ~depth:(depth + 1) ty
+    | Ttuple tys ->
+      List.for_all (is_safe env ~visited ~depth:(depth + 1)) tys
+    | Tconstr (p, args, _) ->
+      if List.exists (Path.same p) safe_base_paths then true
+      else if List.exists (Path.same p) safe_container_paths then
+        List.for_all (is_safe env ~visited ~depth:(depth + 1)) args
+      else
+        let name = Path.name p in
+        if List.mem name visited then true (* recursive type: assume ok *)
+        else begin
+          match Env.find_type p env with
+          | exception _ -> true
+          | decl -> decl_is_safe env ~visited:(name :: visited) ~depth decl
+        end
+    | Tlink _ | Tsubst _ -> true (* not reachable after expand_head *)
+    | Tnil | Tvariant _ ->
+      (* Polymorphic variants compare structurally like ordinary
+         variants; their rows are immutable. *)
+      true
+
+and decl_is_safe env ~visited ~depth decl =
+  match decl.type_kind with
+  | Type_variant (cstrs, _) ->
+    List.for_all
+      (fun c ->
+        match c.cd_args with
+        | Cstr_tuple tys ->
+          List.for_all (is_safe env ~visited ~depth:(depth + 1)) tys
+        | Cstr_record lbls -> labels_safe env ~visited ~depth lbls)
+      cstrs
+  | Type_record (lbls, _) -> labels_safe env ~visited ~depth lbls
+  | Type_abstract | Type_open -> false
+
+and labels_safe env ~visited ~depth lbls =
+  List.for_all
+    (fun l ->
+      l.ld_mutable = Asttypes.Immutable
+      && is_safe env ~visited ~depth:(depth + 1) l.ld_type)
+    lbls
+
+let is_safe env ty = is_safe env ~visited:[] ~depth:0 ty
+
+(* Render the offending type compactly for the diagnostic. *)
+let type_to_string ty =
+  Format.asprintf "%a" Printtyp.type_expr ty
