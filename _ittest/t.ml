@@ -1,0 +1,20 @@
+let () =
+  let module I = Atp_util.Int_table in
+  let t = I.create () in
+  let h = Hashtbl.create 16 in
+  let seed = ref 123456789 in
+  let rand m = seed := (!seed * 1103515245 + 12345) land 0x3FFFFFFF; !seed mod m in
+  for step = 1 to 200000 do
+    let k = rand 500 in
+    (match rand 3 with
+     | 0 -> let v = rand 1000 in I.set t k v; Hashtbl.replace h k v
+     | 1 -> let a = I.remove t k and b = Hashtbl.mem h k in
+            Hashtbl.remove h k;
+            if a <> b then failwith (Printf.sprintf "remove mismatch step %d" step)
+     | _ -> let a = I.find t k and b = Hashtbl.find_opt h k in
+            if a <> b then failwith (Printf.sprintf "find mismatch step %d key %d" step k));
+    if I.length t <> Hashtbl.length h then
+      failwith (Printf.sprintf "length mismatch step %d: %d vs %d" step (I.length t) (Hashtbl.length h))
+  done;
+  Hashtbl.iter (fun k v -> if I.find t k <> Some v then failwith "final mismatch") h;
+  print_endline "OK"
