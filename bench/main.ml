@@ -9,6 +9,14 @@
    eps vmm thp smp mrc coalesced multiprog hpcfigs competitive iceberg
    micro.
 
+   Every experiment runs on the Atp_exp runner: tasks execute in
+   parallel with per-task outcomes (a raising task becomes an error
+   row, its siblings still report), per-task wall-clock and obs
+   snapshots, optional --retries, and — with --json — a machine-
+   readable BENCH_<experiment>.json row stream (schema atp.bench/1,
+   see EXPERIMENTS.md) checkpointed task by task so a killed sweep
+   resumes with --resume instead of restarting from zero.
+
    Scales are 1/16 of the paper's (4 GiB virtual address spaces instead
    of 64 GiB, millions of references instead of hundreds of millions);
    the shapes — who wins, by how many orders of magnitude, where the
@@ -21,8 +29,76 @@ open Atp_paging
 open Atp_workloads
 open Atp_util
 module Obs = Atp_obs
+module Json = Atp_obs.Json
+module Spec = Atp_exp.Spec
+module Runner = Atp_exp.Runner
+module Outcome = Atp_exp.Outcome
+module Report = Atp_exp.Report
 
-let quick = Array.exists (String.equal "--quick") Sys.argv
+(* ------------------------------------------------------------------ *)
+(* Command line                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let usage =
+  "usage: main.exe [--quick] [--json] [--resume] [--out-dir DIR] \
+   [--retries N] [experiment ...]\n\
+  \  --quick        reduced scale (CI-friendly)\n\
+  \  --json         write BENCH_<experiment>.json row streams (implies \
+   checkpointing)\n\
+  \  --resume       skip tasks already checkpointed by a previous \
+   (killed) run\n\
+  \  --out-dir DIR  where BENCH files and .checkpoints/ go (default .)\n\
+  \  --retries N    extra attempts per failing task (default 0)\n"
+
+let quick_flag = ref false
+
+let json_flag = ref false
+
+let resume_flag = ref false
+
+let out_dir = ref "."
+
+let retries = ref 0
+
+let requested = ref []
+
+let bad_usage msg =
+  prerr_string (msg ^ "\n" ^ usage);
+  exit 2
+
+let () =
+  let rec parse = function
+    | [] -> ()
+    | "--quick" :: rest ->
+      quick_flag := true;
+      parse rest
+    | "--json" :: rest ->
+      json_flag := true;
+      parse rest
+    | "--resume" :: rest ->
+      resume_flag := true;
+      parse rest
+    | [ "--out-dir" ] -> bad_usage "--out-dir needs a directory"
+    | "--out-dir" :: dir :: rest ->
+      out_dir := dir;
+      parse rest
+    | [ "--retries" ] -> bad_usage "--retries needs a count"
+    | "--retries" :: n :: rest ->
+      (match int_of_string_opt n with
+       | Some n when n >= 0 -> retries := n
+       | Some _ | None -> bad_usage "--retries wants a non-negative integer");
+      parse rest
+    | arg :: _ when String.length arg >= 2 && String.equal (String.sub arg 0 2) "--"
+      ->
+      bad_usage (Printf.sprintf "unknown option %s" arg)
+    | name :: rest ->
+      requested := name :: !requested;
+      parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  requested := List.rev !requested
+
+let quick = !quick_flag
 
 let scale_down n = if quick then n / 8 else n
 
@@ -30,8 +106,71 @@ let epsilon = 0.01
 
 let hline = String.make 78 '-'
 
-let header title =
-  Printf.printf "\n%s\n%s\n%s\n" hline title hline
+let header title = Printf.printf "\n%s\n%s\n%s\n" hline title hline
+
+(* ------------------------------------------------------------------ *)
+(* Runner plumbing                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let shared_params =
+  [ ("quick", Json.Bool quick); ("epsilon", Json.Float epsilon) ]
+
+let spec ?(params = []) ~name tasks =
+  Spec.v ~params:(shared_params @ params) ~name tasks
+
+(* --json turns on both the row stream and the checkpoint that backs
+   --resume; --resume alone still checkpoints so an interrupted
+   pretty-only run can be finished. *)
+let run_spec (s : Spec.t) =
+  let json_path =
+    if !json_flag then
+      Some (Filename.concat !out_dir ("BENCH_" ^ s.Spec.name ^ ".json"))
+    else None
+  in
+  let checkpoint_path =
+    if !json_flag || !resume_flag then
+      Some
+        (Filename.concat
+           (Filename.concat !out_dir ".checkpoints")
+           (s.Spec.name ^ ".ckpt"))
+    else None
+  in
+  let config =
+    {
+      Runner.default_config with
+      retries = !retries;
+      json_path;
+      checkpoint_path;
+      resume = !resume_flag;
+    }
+  in
+  let outcomes = Runner.run ~config s in
+  let replayed =
+    List.length (List.filter (fun o -> o.Outcome.replayed) outcomes)
+  in
+  if replayed > 0 then
+    Printf.printf "(resume: %d/%d tasks replayed from checkpoint)\n" replayed
+      (List.length outcomes);
+  Option.iter (Printf.printf "(json rows: %s)\n") json_path;
+  outcomes
+
+let print_obs_counters ~title outcome =
+  match Option.bind (Outcome.obs outcome) (Json.member "counters") with
+  | Some (Json.Obj fields) when fields <> [] ->
+    Printf.printf "obs snapshot (%s):\n" title;
+    List.iter
+      (fun (k, v) ->
+        match Json.as_int v with
+        | Some n ->
+          Printf.printf "%s = %s\n" k (Format.asprintf "%a" Stats.pp_count n)
+        | None -> ())
+      fields
+  | Some _ | None -> ()
+
+let with_prefix prefix (o : Outcome.t) =
+  let n = String.length prefix in
+  String.length o.Outcome.key >= n
+  && String.equal (String.sub o.Outcome.key 0 n) prefix
 
 (* ------------------------------------------------------------------ *)
 (* Figure 1: IOs and TLB misses vs huge-page size                      *)
@@ -39,67 +178,98 @@ let header title =
 
 let huge_sizes = [ 1; 2; 4; 8; 16; 32; 64; 128; 256; 512; 1024 ]
 
+let machine_data (c : Machine.counters) =
+  Json.Obj
+    [
+      ("ios", Json.Int c.Machine.ios);
+      ("tlb_misses", Json.Int c.Machine.tlb_misses);
+      ("cost", Json.Float (Machine.cost ~epsilon c));
+    ]
+
+let cost_columns =
+  [
+    Report.col_int ~field:"ios" "IOs";
+    Report.col_int ~field:"tlb_misses" "TLB misses";
+    Report.col_float ~field:"cost" "cost(e=0.01)";
+  ]
+
 (* Replay one fixed (warmup, measured) trace pair across every h and
-   the decoupled reference — the paper's trace-driven methodology. *)
-let figure_sweep ~name ~ram ~tlb_entries ~warmup ~trace () =
+   the decoupled reference — the paper's trace-driven methodology.
+   Each task owns a machine and a private obs registry; the traces are
+   shared read-only, so the sweep runs one domain per h. *)
+let figure_sweep ~name ~exp ~ram ~tlb_entries ~warmup ~trace () =
   header
-    (Printf.sprintf "%s — IOs and TLB misses vs huge-page size h (RAM %d pages, TLB %d)"
+    (Printf.sprintf
+       "%s — IOs and TLB misses vs huge-page size h (RAM %d pages, TLB %d)"
        name ram tlb_entries);
-  Printf.printf "%8s %14s %14s %14s\n" "h" "IOs" "TLB misses" "cost(e=0.01)";
-  (* One registry self-reports the whole sweep.  Machines are created
-     serially — metric registration mutates the shared registry — and
-     only then run in parallel, each touching its own counters. *)
-  let reg = Obs.Registry.create () in
-  let machines =
+  let machine_task h =
+    Spec.task ~key:(Printf.sprintf "h=%d" h) (fun reg ->
+        let m =
+          Machine.create
+            ~obs:(Obs.Scope.v ~prefix:(Printf.sprintf "machine.h%d" h) reg)
+            { Machine.default_config with
+              ram_pages = ram; tlb_entries; huge_size = h; epsilon }
+        in
+        machine_data (Machine.run ~warmup m trace))
+  in
+  let decoupled_task =
+    (* The decoupled scheme on the same trace, as a reference row. *)
+    Spec.task ~key:"decoupled" (fun reg ->
+        let params = Params.derive ~p:ram ~w:64 () in
+        let x = Policy.instantiate (module Lru) ~capacity:tlb_entries () in
+        let y =
+          Policy.instantiate (module Lru)
+            ~capacity:(Params.usable_pages params) ()
+        in
+        let z =
+          Simulation.create ~obs:(Obs.Scope.v ~prefix:"sim" reg) ~params ~x ~y
+            ()
+        in
+        let r = Simulation.run ~warmup z trace in
+        Json.Obj
+          [
+            ("ios", Json.Int r.Simulation.ios);
+            ("tlb_misses", Json.Int r.Simulation.tlb_fills);
+            ("cost", Json.Float (Simulation.cost ~epsilon r));
+            ("h_max", Json.Int params.Params.h_max);
+          ])
+  in
+  let tasks =
+    (* Quick-mode RAM can be smaller than the largest huge page; skip
+       sizes that don't fit.  The sweep may end up empty or a
+       singleton — Report.shape_line totals both. *)
     List.filter_map
-      (fun h ->
-        (* Quick-mode RAM can be smaller than the largest huge page;
-           skip sizes that don't fit. *)
-        if h > ram then None
-        else
-          let m =
-            Machine.create
-              ~obs:(Obs.Scope.v ~prefix:(Printf.sprintf "machine.h%d" h) reg)
-              { Machine.default_config with
-                ram_pages = ram; tlb_entries; huge_size = h; epsilon }
-          in
-          Some (h, m))
+      (fun h -> if h > ram then None else Some (machine_task h))
       huge_sizes
+    @ [ decoupled_task ]
   in
-  (* Each h gets its own machine; the trace arrays are read-only, so
-     the sweep runs one domain per h. *)
+  let s =
+    spec ~name:exp
+      ~params:[ ("ram", Json.Int ram); ("tlb_entries", Json.Int tlb_entries) ]
+      tasks
+  in
+  let outcomes = run_spec s in
+  Report.print_table
+    ~columns:(cost_columns @ [ Report.col_int ~width:8 ~field:"h_max" "h_max" ])
+    outcomes;
   let rows =
-    Parallel.map (fun (h, m) -> (h, Machine.run ~warmup m trace)) machines
+    List.filter_map
+      (fun o ->
+        if String.equal o.Outcome.key "decoupled" then None
+        else
+          match (Outcome.int_field "ios" o, Outcome.int_field "tlb_misses" o) with
+          | Some ios, Some tlb -> Some (o.Outcome.key, ios, tlb)
+          | _ -> None)
+      outcomes
   in
+  print_endline (Report.shape_line rows);
+  (* Self-report: the decoupled reference's cost model in one
+     snapshot (per-h machine snapshots live in the JSON rows). *)
   List.iter
-    (fun (h, c) ->
-      Printf.printf "%8d %14d %14d %14.1f\n%!" h c.Machine.ios
-        c.Machine.tlb_misses (Machine.cost ~epsilon c))
-    rows;
-  (* The decoupled scheme on the same trace, as a reference row. *)
-  let params = Params.derive ~p:ram ~w:64 () in
-  let x = Policy.instantiate (module Lru) ~capacity:tlb_entries () in
-  let y =
-    Policy.instantiate (module Lru) ~capacity:(Params.usable_pages params) ()
-  in
-  let z = Simulation.create ~obs:(Obs.Scope.v ~prefix:"sim" reg) ~params ~x ~y () in
-  let r = Simulation.run ~warmup z trace in
-  Printf.printf "%8s %14d %14d %14.1f   <- decoupled (h_max=%d)\n" "Z"
-    r.Simulation.ios r.Simulation.tlb_fills
-    (Simulation.cost ~epsilon r)
-    params.Params.h_max;
-  let _, first = List.hd rows in
-  let _, last = List.nth rows (List.length rows - 1) in
-  Printf.printf
-    "shape: IOs x%.0f from h=1 to h=1024; TLB misses x%.4f; at h=1 TLB/IO = %.1f\n"
-    (float_of_int last.Machine.ios /. float_of_int (max 1 first.Machine.ios))
-    (float_of_int last.Machine.tlb_misses
-     /. float_of_int (max 1 first.Machine.tlb_misses))
-    (float_of_int first.Machine.tlb_misses
-     /. float_of_int (max 1 first.Machine.ios));
-  (* Self-report: the measured window's cost model in one snapshot. *)
-  Printf.printf "obs snapshot (measured window):\n%s\n"
-    (Format.asprintf "%a" Obs.Registry.pp reg)
+    (fun o ->
+      if String.equal o.Outcome.key "decoupled" then
+        print_obs_counters ~title:"decoupled reference, measured window" o)
+    outcomes
 
 let fig1a () =
   let rng = Prng.create ~seed:100 () in
@@ -111,7 +281,7 @@ let fig1a () =
   in
   let warmup = Workload.generate w (scale_down 2_000_000) in
   let trace = Workload.generate w (scale_down 2_000_000) in
-  figure_sweep ~name:"Figure 1a: bimodal uniform" ~ram:(1 lsl 18)
+  figure_sweep ~name:"Figure 1a: bimodal uniform" ~exp:"fig1a" ~ram:(1 lsl 18)
     ~tlb_entries:1536 ~warmup ~trace ()
 
 let fig1b () =
@@ -120,8 +290,8 @@ let fig1b () =
   let w = Graph_walk.create ~alpha:0.01 ~virtual_pages:(1 lsl 20) rng in
   let warmup = Workload.generate w (scale_down 2_000_000) in
   let trace = Workload.generate w (scale_down 2_000_000) in
-  figure_sweep ~name:"Figure 1b: Pareto random graph walk" ~ram:(1 lsl 19)
-    ~tlb_entries:1536 ~warmup ~trace ()
+  figure_sweep ~name:"Figure 1b: Pareto random graph walk" ~exp:"fig1b"
+    ~ram:(1 lsl 19) ~tlb_entries:1536 ~warmup ~trace ()
 
 let fig1c () =
   (* The paper replays a 5M-access window of a graph500 run whose
@@ -145,7 +315,7 @@ let fig1c () =
       (Printf.sprintf
          "Figure 1c: graph500 BFS (scale %d, VA %d pages, trace touches %d)"
          scale layout.Graph500.total_pages touched)
-    ~ram ~tlb_entries:1536 ~warmup ~trace ()
+    ~exp:"fig1c" ~ram ~tlb_entries:1536 ~warmup ~trace ()
 
 (* ------------------------------------------------------------------ *)
 (* A1: decoupling vs physical huge pages across epsilon                *)
@@ -158,6 +328,12 @@ let decoupling () =
   let tlb_entries = 512 in
   let warmup_n = scale_down 500_000 and measure_n = scale_down 500_000 in
   let epsilons = [ 0.001; 0.01; 0.1 ] in
+  let cost_fields costf =
+    List.map
+      (fun e ->
+        (Printf.sprintf "cost_e%g" e, Json.Float (costf e)))
+      epsilons
+  in
   let workloads =
     [
       ( "bimodal",
@@ -178,58 +354,76 @@ let decoupling () =
           Simple.zipf ~s:0.9 ~virtual_pages:(1 lsl 17) rng );
     ]
   in
-  List.iter
-    (fun (name, ram, mk) ->
-      Printf.printf "\n[%s] RAM = %d pages\n" name ram;
-      let physical =
-        List.map
-          (fun h ->
-            let w = mk 1 in
-            let warmup = Workload.generate w warmup_n in
-            let trace = Workload.generate w measure_n in
-            let m =
-              Machine.create
-                { Machine.default_config with
-                  ram_pages = ram; tlb_entries; huge_size = h }
-            in
-            let c = Machine.run ~warmup m trace in
-            (h, c))
-          [ 1; 16; 256 ]
-      in
-      let params = Params.derive ~p:ram ~w:64 () in
-      let w = mk 1 in
-      let warmup = Workload.generate w warmup_n in
-      let trace = Workload.generate w measure_n in
-      let x = Policy.instantiate (module Lru) ~capacity:tlb_entries () in
-      let y =
-        Policy.instantiate (module Lru)
-          ~capacity:(Params.usable_pages params) ()
-      in
-      let z = Simulation.create ~params ~x ~y () in
-      let r = Simulation.run ~warmup z trace in
-      Printf.printf "%12s %14s %14s" "scheme" "IOs" "TLB misses";
-      List.iter
-        (fun e -> Printf.printf " %14s" (Printf.sprintf "cost(e=%g)" e))
-        epsilons;
-      print_newline ();
-      List.iter
-        (fun (h, c) ->
-          Printf.printf "%12s %14d %14d"
-            (Printf.sprintf "physical %d" h)
-            c.Machine.ios c.Machine.tlb_misses;
-          List.iter
-            (fun e -> Printf.printf " %14.1f" (Machine.cost ~epsilon:e c))
-            epsilons;
-          print_newline ())
-        physical;
-      Printf.printf "%12s %14d %14d" "decoupled Z" r.Simulation.ios
-        r.Simulation.tlb_fills;
-      List.iter
-        (fun e -> Printf.printf " %14.1f" (Simulation.cost ~epsilon:e r))
-        epsilons;
-      Printf.printf "   (failures=%d, decode misses=%d)\n"
-        r.Simulation.failures_total r.Simulation.decoding_misses)
-    workloads
+  let tasks =
+    List.concat_map
+      (fun (wname, ram, mk) ->
+        let physical h =
+          Spec.task ~key:(Printf.sprintf "%s/physical-h%d" wname h) (fun _reg ->
+              let w = mk 1 in
+              let warmup = Workload.generate w warmup_n in
+              let trace = Workload.generate w measure_n in
+              let m =
+                Machine.create
+                  { Machine.default_config with
+                    ram_pages = ram; tlb_entries; huge_size = h }
+              in
+              let c = Machine.run ~warmup m trace in
+              Json.Obj
+                ([
+                   ("ios", Json.Int c.Machine.ios);
+                   ("tlb_misses", Json.Int c.Machine.tlb_misses);
+                 ]
+                @ cost_fields (fun e -> Machine.cost ~epsilon:e c)))
+        in
+        let decoupled =
+          Spec.task ~key:(wname ^ "/decoupled") (fun _reg ->
+              let params = Params.derive ~p:ram ~w:64 () in
+              let w = mk 1 in
+              let warmup = Workload.generate w warmup_n in
+              let trace = Workload.generate w measure_n in
+              let x =
+                Policy.instantiate (module Lru) ~capacity:tlb_entries ()
+              in
+              let y =
+                Policy.instantiate (module Lru)
+                  ~capacity:(Params.usable_pages params) ()
+              in
+              let z = Simulation.create ~params ~x ~y () in
+              let r = Simulation.run ~warmup z trace in
+              Json.Obj
+                ([
+                   ("ios", Json.Int r.Simulation.ios);
+                   ("tlb_misses", Json.Int r.Simulation.tlb_fills);
+                 ]
+                @ cost_fields (fun e -> Simulation.cost ~epsilon:e r)
+                @ [
+                    ("failures", Json.Int r.Simulation.failures_total);
+                    ("decode_misses", Json.Int r.Simulation.decoding_misses);
+                  ]))
+        in
+        List.map physical [ 1; 16; 256 ] @ [ decoupled ])
+      workloads
+  in
+  let outcomes =
+    run_spec (spec ~name:"decoupling" ~params:[ ("tlb_entries", Json.Int tlb_entries) ] tasks)
+  in
+  Report.print_table
+    ~columns:
+      ([
+         Report.col_int ~field:"ios" "IOs";
+         Report.col_int ~field:"tlb_misses" "TLB misses";
+       ]
+      @ List.map
+          (fun e ->
+            Report.col_float
+              ~field:(Printf.sprintf "cost_e%g" e)
+              (Printf.sprintf "cost(e=%g)" e))
+          epsilons
+      @ [
+          Report.col_int ~width:10 ~field:"failures" "failures";
+          Report.col_int ~width:12 ~field:"decode_misses" "decode miss";
+        ])
+    outcomes
 
 (* ------------------------------------------------------------------ *)
 (* A13: empirical Sleator–Tarjan — the competitive frame both halves   *)
@@ -242,6 +436,7 @@ let competitive () =
      frame)";
   let n = scale_down 200_000 in
   let k = 256 in
+  let adv_trace = Competitive.lru_adversary ~capacity:k ~length:n in
   let traces =
     [
       ( "zipf",
@@ -252,36 +447,59 @@ let competitive () =
         Workload.generate
           (Graph_walk.create ~virtual_pages:8_192 (Prng.create ~seed:92 ()))
           n );
-      ("adversary", Competitive.lru_adversary ~capacity:k ~length:n);
+      ("adversary", adv_trace);
     ]
   in
-  Printf.printf "%12s |" "trace";
-  List.iter
-    (fun (module P : Policy.S) -> Printf.printf " %8s" P.name)
-    Registry.all;
-  Printf.printf " | %10s\n" "ST bound";
-  List.iter
-    (fun (name, trace) ->
-      Printf.printf "%12s |" name;
-      List.iter
-        (fun (module P : Policy.S) ->
-          let rng = Prng.create ~seed:93 () in
-          Printf.printf " %8.2f"
-            (Competitive.ratio_vs_opt (module P) ~rng ~capacity:k trace))
-        Registry.all;
-      Printf.printf " | %10.0f\n%!" (Competitive.sleator_tarjan_bound ~k ~h:k))
-    traces;
+  let ratio_task (tname, trace) =
+    Spec.task ~key:("ratios/" ^ tname) (fun _reg ->
+        Json.Obj
+          (List.map
+             (fun (module P : Policy.S) ->
+               let rng = Prng.create ~seed:93 () in
+               ( P.name,
+                 Json.Float
+                   (Competitive.ratio_vs_opt (module P) ~rng ~capacity:k trace)
+               ))
+             Registry.all
+          @ [
+              ( "st_bound",
+                Json.Float (Competitive.sleator_tarjan_bound ~k ~h:k) );
+            ]))
+  in
   (* Resource augmentation: LRU(k) against OPT(h), measured vs bound. *)
+  let aug_task h =
+    Spec.task ~key:(Printf.sprintf "aug/h=%d" h) (fun _reg ->
+        match
+          Competitive.augmentation_curve (module Lru) ~k ~hs:[ h ] adv_trace
+        with
+        | [ (_, measured, bound) ] ->
+          Json.Obj
+            [ ("measured", Json.Float measured); ("bound", Json.Float bound) ]
+        | _ -> failwith "augmentation_curve: expected one row")
+  in
+  let tasks =
+    List.map ratio_task traces
+    @ List.map aug_task [ k / 4; k / 2; 3 * k / 4; k ]
+  in
+  let outcomes =
+    run_spec (spec ~name:"competitive" ~params:[ ("k", Json.Int k) ] tasks)
+  in
+  Report.print_table
+    ~columns:
+      (List.map
+         (fun pname -> Report.col_float ~width:8 ~decimals:2 ~field:pname pname)
+         Registry.names
+      @ [ Report.col_float ~width:10 ~decimals:0 ~field:"st_bound" "ST bound" ])
+    (List.filter (with_prefix "ratios/") outcomes);
   Printf.printf
     "\nLRU(%d) vs OPT(h) with resource augmentation (adversarial trace):\n" k;
-  Printf.printf "%8s %14s %14s\n" "h" "measured" "ST bound";
-  let trace = Competitive.lru_adversary ~capacity:k ~length:n in
-  List.iter
-    (fun (h, measured, bound) ->
-      Printf.printf "%8d %14.2f %14.2f\n%!" h measured bound)
-    (Competitive.augmentation_curve (module Lru) ~k
-       ~hs:[ k / 4; k / 2; (3 * k) / 4; k ]
-       trace)
+  Report.print_table
+    ~columns:
+      [
+        Report.col_float ~decimals:2 ~field:"measured" "measured";
+        Report.col_float ~decimals:2 ~field:"bound" "ST bound";
+      ]
+    (List.filter (with_prefix "aug/") outcomes)
 
 (* ------------------------------------------------------------------ *)
 (* A2: balls-and-bins maximum loads (Theorem 2 empirically)            *)
@@ -290,35 +508,57 @@ let competitive () =
 let ballsbins () =
   header "A2: dynamic balls-and-bins maximum loads under churn (Theorem 2)";
   let open Atp_ballsbins in
-  Printf.printf "%8s %6s %12s | %12s %12s %12s | %10s\n" "bins" "lam" "steps"
-    "one-choice" "greedy[2]" "iceberg[2]" "bound";
-  List.iter
-    (fun (bins, lambda) ->
-      let m = lambda * bins in
-      let steps = scale_down (2 * m) in
-      let run mk layers =
-        let rng = Prng.create ~seed:7 () in
-        let strategy = mk rng in
-        let game = Game.create ~layers ~bins () in
-        let arng = Prng.create ~seed:11 () in
-        let ops = Adversary.churn arng ~m ~steps ~fresh:true in
-        (Runner.run ~game ~strategy ops).Runner.max_load_ever
-      in
-      let one = run (fun rng -> Strategy.one_choice rng ~bins) 1 in
-      let greedy = run (fun rng -> Strategy.greedy rng ~d:2 ~bins) 1 in
-      let tau = Strategy.default_tau ~m ~bins in
-      let ice = run (fun rng -> Strategy.iceberg rng ~tau ~bins ()) 2 in
-      (* Theorem 2's bound: (1 + o(1)) lambda + log log n + O(1). *)
-      let bound =
-        int_of_float
-          (ceil
-             ((1.05 *. float_of_int lambda)
-             +. Float.log2 (Float.max 2.0 (Float.log2 (float_of_int bins)))))
-        + 3
-      in
-      Printf.printf "%8d %6d %12d | %12d %12d %12d | %10d\n%!" bins lambda
-        steps one greedy ice bound)
-    [ (1 lsl 12, 8); (1 lsl 12, 32); (1 lsl 14, 8); (1 lsl 14, 32) ]
+  let tasks =
+    List.map
+      (fun (bins, lambda) ->
+        Spec.task
+          ~key:(Printf.sprintf "n=%d/lam=%d" bins lambda)
+          (fun _reg ->
+            let m = lambda * bins in
+            let steps = scale_down (2 * m) in
+            let run mk layers =
+              let rng = Prng.create ~seed:7 () in
+              let strategy = mk rng in
+              let game = Game.create ~layers ~bins () in
+              let arng = Prng.create ~seed:11 () in
+              let ops = Adversary.churn arng ~m ~steps ~fresh:true in
+              (Runner.run ~game ~strategy ops).Runner.max_load_ever
+              [@atplint.allow "determinism"]
+            in
+            let one = run (fun rng -> Strategy.one_choice rng ~bins) 1 in
+            let greedy = run (fun rng -> Strategy.greedy rng ~d:2 ~bins) 1 in
+            let tau = Strategy.default_tau ~m ~bins in
+            let ice = run (fun rng -> Strategy.iceberg rng ~tau ~bins ()) 2 in
+            (* Theorem 2's bound: (1 + o(1)) lambda + log log n + O(1). *)
+            let bound =
+              int_of_float
+                (ceil
+                   ((1.05 *. float_of_int lambda)
+                   +. Float.log2 (Float.max 2.0 (Float.log2 (float_of_int bins)))
+                   ))
+              + 3
+            in
+            Json.Obj
+              [
+                ("steps", Json.Int steps);
+                ("one_choice", Json.Int one);
+                ("greedy2", Json.Int greedy);
+                ("iceberg2", Json.Int ice);
+                ("bound", Json.Int bound);
+              ]))
+      [ (1 lsl 12, 8); (1 lsl 12, 32); (1 lsl 14, 8); (1 lsl 14, 32) ]
+  in
+  let outcomes = run_spec (spec ~name:"ballsbins" tasks) in
+  Report.print_table
+    ~columns:
+      [
+        Report.col_int ~width:12 ~field:"steps" "steps";
+        Report.col_int ~width:12 ~field:"one_choice" "one-choice";
+        Report.col_int ~width:12 ~field:"greedy2" "greedy[2]";
+        Report.col_int ~width:12 ~field:"iceberg2" "iceberg[2]";
+        Report.col_int ~width:10 ~field:"bound" "bound";
+      ]
+    outcomes
 
 (* ------------------------------------------------------------------ *)
 (* A3: paging failures vs bucket size (Theorems 1 and 3 constants)     *)
@@ -327,42 +567,61 @@ let ballsbins () =
 let failures () =
   header "A3: paging failures when buckets shrink below the theorem bound";
   let p = 1 lsl 16 in
-  Printf.printf "%12s %8s %8s %10s %14s %14s\n" "scheme" "B" "factor" "budget"
-    "failures" "max load";
-  List.iter
-    (fun scheme ->
-      let base = Params.derive ~scheme ~p ~w:64 () in
-      List.iter
-        (fun factor ->
-          let bucket_size =
-            max 1
-              (int_of_float (float_of_int base.Params.bucket_size *. factor))
-          in
-          let params =
-            { base with
-              Params.bucket_size;
-              buckets = p / bucket_size;
-              tau =
-                (if scheme = Params.One_choice then bucket_size
-                 else min base.Params.tau bucket_size);
-            }
-          in
-          let a = Alloc.create params in
-          let budget =
-            min (Params.usable_pages base) (Alloc.frames a * 95 / 100)
-          in
-          for page = 0 to budget - 1 do
-            ignore (Alloc.insert a page)
-          done;
-          let name =
-            match scheme with
-            | Params.One_choice -> "one-choice"
-            | Params.Iceberg { d } -> Printf.sprintf "iceberg[%d]" d
-          in
-          Printf.printf "%12s %8d %8.2f %10d %14d %14d\n%!" name bucket_size
-            factor budget (Alloc.failures_total a) (Alloc.max_bucket_load a))
-        [ 0.15; 0.3; 0.6; 1.0 ])
-    [ Params.One_choice; Params.Iceberg { d = 2 } ]
+  let scheme_name = function
+    | Params.One_choice -> "one-choice"
+    | Params.Iceberg { d } -> Printf.sprintf "iceberg%d" d
+  in
+  let tasks =
+    List.concat_map
+      (fun scheme ->
+        let base = Params.derive ~scheme ~p ~w:64 () in
+        List.map
+          (fun factor ->
+            Spec.task
+              ~key:(Printf.sprintf "%s/f=%.2f" (scheme_name scheme) factor)
+              (fun _reg ->
+                let bucket_size =
+                  max 1
+                    (int_of_float
+                       (float_of_int base.Params.bucket_size *. factor))
+                in
+                let params =
+                  { base with
+                    Params.bucket_size;
+                    buckets = p / bucket_size;
+                    tau =
+                      (if scheme = Params.One_choice then bucket_size
+                       else min base.Params.tau bucket_size);
+                  }
+                in
+                let a = Alloc.create params in
+                let budget =
+                  min (Params.usable_pages base) (Alloc.frames a * 95 / 100)
+                in
+                for page = 0 to budget - 1 do
+                  ignore (Alloc.insert a page)
+                done;
+                Json.Obj
+                  [
+                    ("bucket_size", Json.Int bucket_size);
+                    ("factor", Json.Float factor);
+                    ("budget", Json.Int budget);
+                    ("failures", Json.Int (Alloc.failures_total a));
+                    ("max_load", Json.Int (Alloc.max_bucket_load a));
+                  ]))
+          [ 0.15; 0.3; 0.6; 1.0 ])
+      [ Params.One_choice; Params.Iceberg { d = 2 } ]
+  in
+  let outcomes = run_spec (spec ~name:"failures" ~params:[ ("p", Json.Int p) ] tasks) in
+  Report.print_table
+    ~columns:
+      [
+        Report.col_int ~width:8 ~field:"bucket_size" "B";
+        Report.col_int ~width:10 ~field:"budget" "budget";
+        Report.col_int ~field:"failures" "failures";
+        Report.col_int ~field:"max_load" "max load";
+      ]
+    outcomes
 
 (* ------------------------------------------------------------------ *)
 (* A4: the hybrid scheme of Section 8                                  *)
@@ -382,30 +641,52 @@ let hybrid () =
     Bimodal.create ~hot_fraction:0.999 ~hot_pages:(1 lsl 14)
       ~virtual_pages:(1 lsl 18) rng
   in
-  Printf.printf "%10s %10s %14s %14s %14s\n" "chunk" "coverage" "IOs"
-    "TLB misses" "cost(e=0.01)";
-  List.iter
-    (fun chunk ->
-      let h = Hybrid.create ~ram_pages:ram ~chunk ~w:64 ~tlb_entries () in
-      let w = mk_workload 1 in
-      let warmup = Workload.generate w warmup_n in
-      let trace = Workload.generate w measure_n in
-      let r = Hybrid.run ~warmup h trace in
-      Printf.printf "%10d %10d %14d %14d %14.1f\n%!" chunk r.Hybrid.coverage
-        r.Hybrid.ios r.Hybrid.tlb_fills (Hybrid.cost ~epsilon r))
-    [ 1; 4; 16; 64 ];
-  (* Physical huge pages with coverage comparable to chunk=16. *)
-  let w = mk_workload 1 in
-  let warmup = Workload.generate w warmup_n in
-  let trace = Workload.generate w measure_n in
-  let m =
-    Machine.create
-      { Machine.default_config with
-        ram_pages = ram; tlb_entries; huge_size = 128 }
+  let chunk_task chunk =
+    Spec.task ~key:(Printf.sprintf "chunk=%d" chunk) (fun _reg ->
+        let h = Hybrid.create ~ram_pages:ram ~chunk ~w:64 ~tlb_entries () in
+        let w = mk_workload 1 in
+        let warmup = Workload.generate w warmup_n in
+        let trace = Workload.generate w measure_n in
+        let r = Hybrid.run ~warmup h trace in
+        Json.Obj
+          [
+            ("coverage", Json.Int r.Hybrid.coverage);
+            ("ios", Json.Int r.Hybrid.ios);
+            ("tlb_misses", Json.Int r.Hybrid.tlb_fills);
+            ("cost", Json.Float (Hybrid.cost ~epsilon r));
+          ])
   in
-  let c = Machine.run ~warmup m trace in
-  Printf.printf "%10s %10d %14d %14d %14.1f   <- pure physical h=128\n" "-"
-    128 c.Machine.ios c.Machine.tlb_misses (Machine.cost ~epsilon c)
+  (* Physical huge pages with coverage comparable to chunk=16. *)
+  let physical_task =
+    Spec.task ~key:"physical-h128" (fun _reg ->
+        let w = mk_workload 1 in
+        let warmup = Workload.generate w warmup_n in
+        let trace = Workload.generate w measure_n in
+        let m =
+          Machine.create
+            { Machine.default_config with
+              ram_pages = ram; tlb_entries; huge_size = 128 }
+        in
+        let c = Machine.run ~warmup m trace in
+        Json.Obj
+          [
+            ("coverage", Json.Int 128);
+            ("ios", Json.Int c.Machine.ios);
+            ("tlb_misses", Json.Int c.Machine.tlb_misses);
+            ("cost", Json.Float (Machine.cost ~epsilon c));
+          ])
+  in
+  let tasks = List.map chunk_task [ 1; 4; 16; 64 ] @ [ physical_task ] in
+  let outcomes =
+    run_spec
+      (spec ~name:"hybrid"
+         ~params:
+           [ ("ram", Json.Int ram); ("tlb_entries", Json.Int tlb_entries) ]
+         tasks)
+  in
+  Report.print_table
+    ~columns:(Report.col_int ~width:10 ~field:"coverage" "coverage" :: cost_columns)
+    outcomes
 
 (* ------------------------------------------------------------------ *)
 (* A5: measured epsilon — page walks, PWC, huge leaves, virtualization *)
@@ -417,57 +698,84 @@ let eps () =
      vs nested/virtualized)";
   let io_cycles = 40_000 in
   let accesses = scale_down 200_000 in
-  let spaces = [ ("dense-64k", 1 lsl 16); ("sparse-16M", 1 lsl 24) ] in
-  Printf.printf "%12s %16s %16s %16s %16s\n" "space" "bare walk(cyc)"
-    "bare eps" "nested walk(cyc)" "nested eps";
-  List.iter
-    (fun (name, space) ->
-      let rng = Prng.create ~seed:17 () in
-      let pt = Page_table.create () in
-      let bare = Walker.create pt in
-      let nested = Nested.create () in
-      for _ = 1 to accesses do
-        let v = Prng.int rng space in
-        if Page_table.lookup pt v = None then begin
-          Page_table.map pt ~vpage:v ~frame:v ();
-          Nested.guest_map nested ~gva:v ~gpa:v
-        end;
-        ignore (Walker.translate bare v);
-        ignore (Nested.translate nested v)
-      done;
-      Printf.printf "%12s %16.1f %16.5f %16.1f %16.5f\n%!" name
-        (Walker.average_cycles bare)
-        (Walker.epsilon bare ~io_latency_cycles:io_cycles)
-        (Nested.average_cycles nested)
-        (Nested.epsilon nested ~io_latency_cycles:io_cycles))
-    spaces;
+  let space_task (sname, space) =
+    Spec.task ~key:sname (fun _reg ->
+        let rng = Prng.create ~seed:17 () in
+        let pt = Page_table.create () in
+        let bare = Walker.create pt in
+        let nested = Nested.create () in
+        for _ = 1 to accesses do
+          let v = Prng.int rng space in
+          if Page_table.lookup pt v = None then begin
+            Page_table.map pt ~vpage:v ~frame:v ();
+            Nested.guest_map nested ~gva:v ~gpa:v
+          end;
+          ignore (Walker.translate bare v);
+          ignore (Nested.translate nested v)
+        done;
+        Json.Obj
+          [
+            ("bare_walk_cycles", Json.Float (Walker.average_cycles bare));
+            ( "bare_eps",
+              Json.Float (Walker.epsilon bare ~io_latency_cycles:io_cycles) );
+            ("nested_walk_cycles", Json.Float (Nested.average_cycles nested));
+            ( "nested_eps",
+              Json.Float (Nested.epsilon nested ~io_latency_cycles:io_cycles)
+            );
+          ])
+  in
   (* Huge leaves shorten walks: same sparse space mapped with level-1
      leaves. *)
-  let rng = Prng.create ~seed:18 () in
-  let pt = Page_table.create () in
-  let w = Walker.create pt in
-  for _ = 1 to accesses do
-    let v = Prng.int rng (1 lsl 24) in
-    let base = v land lnot 511 in
-    if Page_table.lookup pt v = None then
-      Page_table.map pt ~vpage:base ~frame:base ~level:1 ();
-    ignore (Walker.translate w v)
-  done;
-  Printf.printf "%12s %16.1f %16.5f   <- level-1 (2 MiB-style) leaves\n"
-    "sparse-16M" (Walker.average_cycles w)
-    (Walker.epsilon w ~io_latency_cycles:io_cycles)
+  let huge_leaf_task =
+    Spec.task ~key:"sparse-16M/level1-leaves" (fun _reg ->
+        let rng = Prng.create ~seed:18 () in
+        let pt = Page_table.create () in
+        let w = Walker.create pt in
+        for _ = 1 to accesses do
+          let v = Prng.int rng (1 lsl 24) in
+          let base = v land lnot 511 in
+          if Page_table.lookup pt v = None then
+            Page_table.map pt ~vpage:base ~frame:base ~level:1 ();
+          ignore (Walker.translate w v)
+        done;
+        Json.Obj
+          [
+            ("bare_walk_cycles", Json.Float (Walker.average_cycles w));
+            ( "bare_eps",
+              Json.Float (Walker.epsilon w ~io_latency_cycles:io_cycles) );
+          ])
+  in
+  let tasks =
+    List.map space_task [ ("dense-64k", 1 lsl 16); ("sparse-16M", 1 lsl 24) ]
+    @ [ huge_leaf_task ]
+  in
+  let outcomes =
+    run_spec
+      (spec ~name:"eps" ~params:[ ("io_cycles", Json.Int io_cycles) ] tasks)
+  in
+  Report.print_table
+    ~columns:
+      [
+        Report.col_float ~width:16 ~field:"bare_walk_cycles" "bare walk(cyc)";
+        Report.col_float ~width:16 ~decimals:5 ~field:"bare_eps" "bare eps";
+        Report.col_float ~width:16 ~field:"nested_walk_cycles"
+          "nested walk(cyc)";
+        Report.col_float ~width:16 ~decimals:5 ~field:"nested_eps" "nested eps";
+      ]
+    outcomes
 
 (* ------------------------------------------------------------------ *)
 (* A6: transparent huge pages vs static huge pages vs decoupling       *)
 (* ------------------------------------------------------------------ *)
 
-let rec thp () =
+let thp () =
   header "A6: THP (promotion + compaction) vs static huge pages vs decoupled";
-  let ram = 1 lsl 16 in
   let warmup_n = scale_down 500_000 and measure_n = scale_down 500_000 in
-  (* Two hot-set layouts: dense (THP-friendly: whole regions promote)
-     and sparse (one hot page per region: promotion never triggers and
-     large coverage is wasted). *)
+  (* Three hot-set layouts: dense (THP-friendly: whole regions
+     promote), sparse (one hot page per region: promotion never
+     triggers and large coverage is wasted), and dense under memory
+     pressure (promoted regions are evicted whole and re-filled whole:
+     THP pays amplification the decoupled scheme avoids). *)
   let mk_dense seed =
     let rng = Prng.create ~seed () in
     Bimodal.create ~hot_fraction:0.999 ~hot_pages:(1 lsl 12)
@@ -489,86 +797,111 @@ let rec thp () =
       next;
     }
   in
-  run_thp_block ~title:"dense hot set" ~ram ~warmup_n ~measure_n mk_dense;
-  run_thp_block ~title:"sparse hot set (1 hot page per 64)" ~ram ~warmup_n
-    ~measure_n mk_sparse;
-  (* Under memory pressure, promoted regions are evicted whole and
-     re-filled whole: THP pays amplification the decoupled scheme
-     avoids. *)
   let mk_pressure seed =
     let rng = Prng.create ~seed () in
     Bimodal.create ~hot_fraction:0.98 ~hot_pages:(1 lsl 12)
       ~virtual_pages:(1 lsl 18) rng
   in
-  run_thp_block ~title:"dense hot set under memory pressure (RAM 6000 pages)"
-    ~ram:6000 ~warmup_n ~measure_n mk_pressure
-
-and run_thp_block ~title ~ram ~warmup_n ~measure_n mk_workload =
-  Printf.printf "\n[%s]\n" title;
-  Printf.printf "%16s %12s %12s %12s %14s\n" "scheme" "IOs" "TLB misses"
-    "promotions" "cost(e=0.01)";
-  (* Static physical huge pages. *)
-  List.iter
-    (fun h ->
-      let w = mk_workload 1 in
-      let warmup = Workload.generate w warmup_n in
-      let trace = Workload.generate w measure_n in
-      let m =
-        Machine.create
-          { Machine.default_config with
-            ram_pages = ram; tlb_entries = 1536; huge_size = h }
-      in
-      let c = Machine.run ~warmup m trace in
-      Printf.printf "%16s %12d %12d %12s %14.1f\n%!"
-        (Printf.sprintf "static h=%d" h)
-        c.Machine.ios c.Machine.tlb_misses "-"
-        (Machine.cost ~epsilon c))
-    [ 1; 64; 512 ];
-  (* THP with a Cascade-Lake-style split TLB. *)
-  let w = mk_workload 1 in
-  let warmup = Workload.generate w warmup_n in
-  let trace = Workload.generate w measure_n in
-  let t =
-    Thp.create
-      { Thp.default_config with
-        ram_pages = ram; base_tlb_entries = 1536; huge_tlb_entries = 16;
-        huge_size = 512 }
+  let blocks =
+    [
+      ("dense", 1 lsl 16, mk_dense);
+      ("sparse", 1 lsl 16, mk_sparse);
+      ("pressure", 6000, mk_pressure);
+    ]
   in
-  let c = Thp.run ~warmup t trace in
-  Printf.printf "%16s %12d %12d %12d %14.1f   (fill-ios=%d compaction=%d)\n"
-    "THP h=512" c.Thp.ios c.Thp.tlb_misses c.Thp.promotions
-    (Thp.cost ~epsilon c) c.Thp.promotion_fill_ios c.Thp.compaction_evictions;
-  (* Reservation-based superpages (Navarro et al.). *)
-  let w = mk_workload 1 in
-  let warmup = Workload.generate w warmup_n in
-  let trace = Workload.generate w measure_n in
-  let sp =
-    Superpage.create
-      { Superpage.default_config with
-        ram_pages = ram; base_tlb_entries = 1536; huge_tlb_entries = 16;
-        huge_size = 512 }
+  let traces mk =
+    let w = mk 1 in
+    (Workload.generate w warmup_n, Workload.generate w measure_n)
   in
-  let c = Superpage.run ~warmup sp trace in
-  Printf.printf
-    "%16s %12d %12d %12d %14.1f   (preempt=%d waste=%d)\n"
-    "superpage h=512" c.Superpage.ios c.Superpage.tlb_misses
-    c.Superpage.promotions
-    (Superpage.cost ~epsilon c)
-    c.Superpage.preemptions
-    (Superpage.reserved_unused_frames sp);
-  (* Decoupled. *)
-  let params = Params.derive ~p:ram ~w:64 () in
-  let w = mk_workload 1 in
-  let warmup = Workload.generate w warmup_n in
-  let trace = Workload.generate w measure_n in
-  let x = Policy.instantiate (module Lru) ~capacity:1536 () in
-  let y =
-    Policy.instantiate (module Lru) ~capacity:(Params.usable_pages params) ()
+  let tasks =
+    List.concat_map
+      (fun (block, ram, mk) ->
+        let static h =
+          Spec.task ~key:(Printf.sprintf "%s/static-h%d" block h) (fun _reg ->
+              let warmup, trace = traces mk in
+              let m =
+                Machine.create
+                  { Machine.default_config with
+                    ram_pages = ram; tlb_entries = 1536; huge_size = h }
+              in
+              machine_data (Machine.run ~warmup m trace))
+        in
+        let thp_task =
+          (* THP with a Cascade-Lake-style split TLB. *)
+          Spec.task ~key:(block ^ "/thp-h512") (fun _reg ->
+              let warmup, trace = traces mk in
+              let t =
+                Thp.create
+                  { Thp.default_config with
+                    ram_pages = ram; base_tlb_entries = 1536;
+                    huge_tlb_entries = 16; huge_size = 512 }
+              in
+              let c = Thp.run ~warmup t trace in
+              Json.Obj
+                [
+                  ("ios", Json.Int c.Thp.ios);
+                  ("tlb_misses", Json.Int c.Thp.tlb_misses);
+                  ("promotions", Json.Int c.Thp.promotions);
+                  ("cost", Json.Float (Thp.cost ~epsilon c));
+                  ("fill_ios", Json.Int c.Thp.promotion_fill_ios);
+                  ("compaction", Json.Int c.Thp.compaction_evictions);
+                ])
+        in
+        let superpage_task =
+          (* Reservation-based superpages (Navarro et al.). *)
+          Spec.task ~key:(block ^ "/superpage-h512") (fun _reg ->
+              let warmup, trace = traces mk in
+              let sp =
+                Superpage.create
+                  { Superpage.default_config with
+                    ram_pages = ram; base_tlb_entries = 1536;
+                    huge_tlb_entries = 16; huge_size = 512 }
+              in
+              let c = Superpage.run ~warmup sp trace in
+              Json.Obj
+                [
+                  ("ios", Json.Int c.Superpage.ios);
+                  ("tlb_misses", Json.Int c.Superpage.tlb_misses);
+                  ("promotions", Json.Int c.Superpage.promotions);
+                  ("cost", Json.Float (Superpage.cost ~epsilon c));
+                  ("preemptions", Json.Int c.Superpage.preemptions);
+                  ("waste", Json.Int (Superpage.reserved_unused_frames sp));
+                ])
+        in
+        let decoupled =
+          Spec.task ~key:(block ^ "/decoupled") (fun _reg ->
+              let params = Params.derive ~p:ram ~w:64 () in
+              let warmup, trace = traces mk in
+              let x = Policy.instantiate (module Lru) ~capacity:1536 () in
+              let y =
+                Policy.instantiate (module Lru)
+                  ~capacity:(Params.usable_pages params) ()
+              in
+              let z = Simulation.create ~params ~x ~y () in
+              let r = Simulation.run ~warmup z trace in
+              Json.Obj
+                [
+                  ("ios", Json.Int r.Simulation.ios);
+                  ("tlb_misses", Json.Int r.Simulation.tlb_fills);
+                  ("cost", Json.Float (Simulation.cost ~epsilon r));
+                ])
+        in
+        List.map static [ 1; 64; 512 ]
+        @ [ thp_task; superpage_task; decoupled ])
+      blocks
   in
-  let z = Simulation.create ~params ~x ~y () in
-  let r = Simulation.run ~warmup z trace in
-  Printf.printf "%16s %12d %12d %12s %14.1f\n" "decoupled Z" r.Simulation.ios
-    r.Simulation.tlb_fills "-" (Simulation.cost ~epsilon r)
+  let outcomes = run_spec (spec ~name:"thp" tasks) in
+  Report.print_table
+    ~columns:
+      [
+        Report.col_int ~width:12 ~field:"ios" "IOs";
+        Report.col_int ~width:12 ~field:"tlb_misses" "TLB misses";
+        Report.col_int ~width:12 ~field:"promotions" "promotions";
+        Report.col_float ~field:"cost" "cost(e=0.01)";
+        Report.col_int ~width:10 ~field:"fill_ios" "fill-ios";
+        Report.col_int ~width:10 ~field:"preemptions" "preempt";
+      ]
+    outcomes
 
 (* ------------------------------------------------------------------ *)
 (* A10: the full bill — cycles per access through the whole VMM        *)
@@ -580,69 +913,94 @@ let vmm () =
      the full VMM";
   let n = scale_down 500_000 in
   let pages = 1 lsl 14 in
-  Printf.printf "%10s %10s | %14s %14s %14s %16s\n" "tlb" "ram" "tlb miss%"
-    "majors" "cyc/access" "translation %";
-  List.iter
-    (fun (tlb, ram) ->
-      let vm =
-        Vmm.create { Vmm.default_config with ram_pages = ram; tlb_entries = tlb }
-      in
-      Vmm.mmap vm ~start:0 ~pages;
-      let rng = Prng.create ~seed:51 () in
-      let zipf = Sampler.zipf ~s:0.9 ~n:pages in
-      (* warmup *)
-      for _ = 1 to n / 2 do
-        Vmm.read vm (zipf rng)
-      done;
-      Vmm.reset_counters vm;
-      for _ = 1 to n do
-        if Prng.float rng < 0.1 then Vmm.write vm (zipf rng)
-        else Vmm.read vm (zipf rng)
-      done;
-      let c = Vmm.counters vm in
-      Printf.printf "%10d %10d | %14.2f %14d %14.1f %16.1f\n%!" tlb ram
-        (100.0 *. float_of_int c.Vmm.tlb_misses /. float_of_int c.Vmm.accesses)
-        c.Vmm.major_faults
-        (Vmm.average_cycles_per_access vm)
-        (100.0 *. Vmm.translation_fraction vm))
-    [
-      (64, 1 lsl 14); (512, 1 lsl 14); (4096, 1 lsl 14);
-      (512, 1 lsl 12); (512, 1 lsl 13);
-    ];
+  let vmm_task (tlb, ram) =
+    Spec.task ~key:(Printf.sprintf "tlb=%d/ram=%d" tlb ram) (fun _reg ->
+        let vm =
+          Vmm.create
+            { Vmm.default_config with ram_pages = ram; tlb_entries = tlb }
+        in
+        Vmm.mmap vm ~start:0 ~pages;
+        let rng = Prng.create ~seed:51 () in
+        let zipf = Sampler.zipf ~s:0.9 ~n:pages in
+        (* warmup *)
+        for _ = 1 to n / 2 do
+          Vmm.read vm (zipf rng)
+        done;
+        Vmm.reset_counters vm;
+        for _ = 1 to n do
+          if Prng.float rng < 0.1 then Vmm.write vm (zipf rng)
+          else Vmm.read vm (zipf rng)
+        done;
+        let c = Vmm.counters vm in
+        Json.Obj
+          [
+            ( "tlb_miss_pct",
+              Json.Float
+                (100.0 *. float_of_int c.Vmm.tlb_misses
+                /. float_of_int c.Vmm.accesses) );
+            ("majors", Json.Int c.Vmm.major_faults);
+            ("cyc_per_access", Json.Float (Vmm.average_cycles_per_access vm));
+            ( "translation_pct",
+              Json.Float (100.0 *. Vmm.translation_fraction vm) );
+          ])
+  in
   (* The decoupled TLB in the same cycle terms: a TLB miss costs one
      psi-table access plus the constant-time decode, not a 4-level
      radix walk — the paper's constant-time property priced out. *)
-  let params = Params.derive ~p:(1 lsl 14) ~w:64 () in
-  let x = Policy.instantiate (module Lru) ~capacity:512 () in
-  let y =
-    Policy.instantiate (module Lru) ~capacity:(Params.usable_pages params) ()
+  let decoupled_task =
+    Spec.task ~key:"decoupled/tlb=512" (fun _reg ->
+        let params = Params.derive ~p:(1 lsl 14) ~w:64 () in
+        let x = Policy.instantiate (module Lru) ~capacity:512 () in
+        let y =
+          Policy.instantiate (module Lru)
+            ~capacity:(Params.usable_pages params) ()
+        in
+        let z = Simulation.create ~params ~x ~y () in
+        let rng = Prng.create ~seed:51 () in
+        let zipf = Sampler.zipf ~s:0.9 ~n:(1 lsl 14) in
+        for _ = 1 to n / 2 do
+          Simulation.access z (zipf rng)
+        done;
+        Simulation.reset_report z;
+        for _ = 1 to n do
+          Simulation.access z (zipf rng)
+        done;
+        let r = Simulation.report z in
+        let memory_latency = Walker.default_config.Walker.memory_latency in
+        let decode_cycles = 4 in
+        let cycles =
+          r.Simulation.accesses
+          + (r.Simulation.tlb_fills * (memory_latency + decode_cycles))
+        in
+        Json.Obj
+          [
+            ( "tlb_miss_pct",
+              Json.Float
+                (100.0 *. float_of_int r.Simulation.tlb_fills
+                /. float_of_int r.Simulation.accesses) );
+            ( "cyc_per_access",
+              Json.Float
+                (float_of_int cycles /. float_of_int r.Simulation.accesses) );
+          ])
   in
-  let z = Simulation.create ~params ~x ~y () in
-  let rng = Prng.create ~seed:51 () in
-  let zipf = Sampler.zipf ~s:0.9 ~n:(1 lsl 14) in
-  let n = scale_down 500_000 in
-  for _ = 1 to n / 2 do
-    Simulation.access z (zipf rng)
-  done;
-  Simulation.reset_report z;
-  for _ = 1 to n do
-    Simulation.access z (zipf rng)
-  done;
-  let r = Simulation.report z in
-  let memory_latency = Walker.default_config.Walker.memory_latency in
-  let decode_cycles = 4 in
-  let cycles =
-    r.Simulation.accesses
-    + (r.Simulation.tlb_fills * (memory_latency + decode_cycles))
+  let tasks =
+    List.map vmm_task
+      [
+        (64, 1 lsl 14); (512, 1 lsl 14); (4096, 1 lsl 14);
+        (512, 1 lsl 12); (512, 1 lsl 13);
+      ]
+    @ [ decoupled_task ]
   in
-  Printf.printf
-    "%10s %10d | %14.2f %14s %14.1f %16s   <- decoupled (1 access/miss)\n"
-    "512(Z)" (1 lsl 14)
-    (100.0 *. float_of_int r.Simulation.tlb_fills
-     /. float_of_int r.Simulation.accesses)
-    "-"
-    (float_of_int cycles /. float_of_int r.Simulation.accesses)
-    "-"
+  let outcomes = run_spec (spec ~name:"vmm" tasks) in
+  Report.print_table
+    ~columns:
+      [
+        Report.col_float ~decimals:2 ~field:"tlb_miss_pct" "tlb miss%";
+        Report.col_int ~field:"majors" "majors";
+        Report.col_float ~field:"cyc_per_access" "cyc/access";
+        Report.col_float ~width:16 ~field:"translation_pct" "translation %";
+      ]
+    outcomes
 
 (* ------------------------------------------------------------------ *)
 (* A7: per-core TLBs and shootdowns                                    *)
@@ -655,50 +1013,71 @@ let smp () =
   let zipf = Simple.zipf ~s:0.9 ~virtual_pages:(1 lsl 14) rng in
   let warmup = Workload.generate zipf n in
   let trace = Workload.generate zipf n in
-  Printf.printf "%8s %12s | %12s %10s %10s | %12s %10s %10s\n" "cores" "mode"
-    "TLB misses" "IOs" "IPIs" "TLB misses" "IOs" "IPIs";
-  Printf.printf "%8s %12s | %34s | %34s\n" "" "" "shared" "partitioned";
-  List.iter
-    (fun cores ->
-      (* Per-core TLB reach at or above RAM capacity, so eviction
-         victims are actually cached somewhere and shootdowns have
-         teeth (RAM here is the constrained resource). *)
-      let cfg =
-        { Smp.default_config with
-          cores;
-          ram_pages = 1 lsl 9;
-          tlb_entries_per_core = 1536 / cores;
-        }
-      in
-      let shared = Smp.run_shared ~warmup (Smp.create cfg) trace in
-      let part = Smp.run_partitioned ~warmup (Smp.create cfg) trace in
-      Printf.printf "%8d %12s | %12d %10d %10d | %12d %10d %10d\n%!" cores
-        "zipf" shared.Smp.tlb_misses shared.Smp.ios shared.Smp.ipis
-        part.Smp.tlb_misses part.Smp.ios part.Smp.ipis)
-    [ 1; 2; 4; 8 ];
-  (* Decoupling under per-core TLBs: hardware entries are copies, so a
-     residency change to a remotely covered huge page costs an update
-     notification — the concurrency price of ψ sharing. *)
-  Printf.printf
-    "\nDecoupled scheme under per-core TLBs (same trace, shared round-robin):\n";
-  Printf.printf "%8s %12s %10s %14s %12s\n" "cores" "TLB fills" "IOs"
-    "psi-update IPIs" "decode miss";
-  List.iter
-    (fun cores ->
-      let params = Params.derive ~p:(1 lsl 9) ~w:64 () in
-      let y =
-        Policy.instantiate (module Lru)
-          ~capacity:(Params.usable_pages params) ()
-      in
-      let t =
-        Smp_decoupled.create ~params ~cores
-          ~tlb_entries_per_core:(1536 / cores) ~y ()
-      in
-      let r = Smp_decoupled.run_shared ~warmup t trace in
-      Printf.printf "%8d %12d %10d %14d %12d\n%!" cores
-        r.Smp_decoupled.tlb_fills r.Smp_decoupled.ios
-        r.Smp_decoupled.psi_update_ipis r.Smp_decoupled.decoding_misses)
-    [ 1; 2; 4; 8 ]
+  (* Per-core TLB reach at or above RAM capacity, so eviction victims
+     are actually cached somewhere and shootdowns have teeth (RAM here
+     is the constrained resource). *)
+  let cfg cores =
+    { Smp.default_config with
+      cores;
+      ram_pages = 1 lsl 9;
+      tlb_entries_per_core = 1536 / cores;
+    }
+  in
+  let smp_data (c : Smp.counters) =
+    Json.Obj
+      [
+        ("tlb", Json.Int c.Smp.tlb_misses);
+        ("ios", Json.Int c.Smp.ios);
+        ("ipis", Json.Int c.Smp.ipis);
+      ]
+  in
+  let tasks =
+    List.concat_map
+      (fun cores ->
+        [
+          Spec.task ~key:(Printf.sprintf "cores=%d/shared" cores) (fun _reg ->
+              smp_data (Smp.run_shared ~warmup (Smp.create (cfg cores)) trace));
+          Spec.task
+            ~key:(Printf.sprintf "cores=%d/partitioned" cores)
+            (fun _reg ->
+              smp_data
+                (Smp.run_partitioned ~warmup (Smp.create (cfg cores)) trace));
+          (* Decoupling under per-core TLBs: hardware entries are
+             copies, so a residency change to a remotely covered huge
+             page costs an update notification — the concurrency price
+             of ψ sharing. *)
+          Spec.task ~key:(Printf.sprintf "cores=%d/decoupled" cores)
+            (fun _reg ->
+              let params = Params.derive ~p:(1 lsl 9) ~w:64 () in
+              let y =
+                Policy.instantiate (module Lru)
+                  ~capacity:(Params.usable_pages params) ()
+              in
+              let t =
+                Smp_decoupled.create ~params ~cores
+                  ~tlb_entries_per_core:(1536 / cores) ~y ()
+              in
+              let r = Smp_decoupled.run_shared ~warmup t trace in
+              Json.Obj
+                [
+                  ("tlb", Json.Int r.Smp_decoupled.tlb_fills);
+                  ("ios", Json.Int r.Smp_decoupled.ios);
+                  ("ipis", Json.Int r.Smp_decoupled.psi_update_ipis);
+                  ("decode_misses", Json.Int r.Smp_decoupled.decoding_misses);
+                ]);
+        ])
+      [ 1; 2; 4; 8 ]
+  in
+  let outcomes = run_spec (spec ~name:"smp" tasks) in
+  Report.print_table
+    ~columns:
+      [
+        Report.col_int ~width:12 ~field:"tlb" "TLB events";
+        Report.col_int ~width:10 ~field:"ios" "IOs";
+        Report.col_int ~width:10 ~field:"ipis" "IPIs";
+        Report.col_int ~width:12 ~field:"decode_misses" "decode miss";
+      ]
+    outcomes
 
 (* ------------------------------------------------------------------ *)
 (* A8: miss-ratio curves (how RAM sizes are chosen)                    *)
@@ -707,6 +1086,7 @@ let smp () =
 let mrc () =
   header "A8: single-pass LRU miss-ratio curves (Mattson stack distances)";
   let n = scale_down 1_000_000 in
+  let capacities = [ 256; 1024; 4096; 16384; 65536 ] in
   let workloads =
     [
       ( "bimodal",
@@ -724,20 +1104,38 @@ let mrc () =
           Simple.zipf ~s:0.9 ~virtual_pages:(1 lsl 17) rng );
     ]
   in
-  let capacities = [ 256; 1024; 4096; 16384; 65536 ] in
-  Printf.printf "%12s %12s %10s |" "workload" "ws(99.9%)" "cold";
-  List.iter (fun c -> Printf.printf " %9s" (Printf.sprintf "c=%d" c)) capacities;
-  print_newline ();
-  List.iter
-    (fun (name, mk) ->
-      let trace = Workload.generate (mk ()) n in
-      let m = Mattson.of_trace trace in
-      Printf.printf "%12s %12d %10d |" name
-        (Mattson.working_set_size m ~fraction:0.999)
-        (Mattson.cold_misses m);
-      List.iter (fun c -> Printf.printf " %9d" (Mattson.misses m c)) capacities;
-      print_newline ())
-    workloads
+  let tasks =
+    List.map
+      (fun (wname, mk) ->
+        Spec.task ~key:wname (fun _reg ->
+            let trace = Workload.generate (mk ()) n in
+            let m = Mattson.of_trace trace in
+            Json.Obj
+              ([
+                 ( "ws999",
+                   Json.Int (Mattson.working_set_size m ~fraction:0.999) );
+                 ("cold", Json.Int (Mattson.cold_misses m));
+               ]
+              @ List.map
+                  (fun c ->
+                    (Printf.sprintf "c%d" c, Json.Int (Mattson.misses m c)))
+                  capacities)))
+      workloads
+  in
+  let outcomes = run_spec (spec ~name:"mrc" tasks) in
+  Report.print_table
+    ~columns:
+      ([
+         Report.col_int ~width:12 ~field:"ws999" "ws(99.9%)";
+         Report.col_int ~width:10 ~field:"cold" "cold";
+       ]
+      @ List.map
+          (fun c ->
+            Report.col_int ~width:9
+              ~field:(Printf.sprintf "c%d" c)
+              (Printf.sprintf "c=%d" c))
+          capacities)
+    outcomes
 
 (* ------------------------------------------------------------------ *)
 (* A9: coalesced TLBs — contiguity helps only until fragmentation      *)
@@ -754,33 +1152,56 @@ let coalesced () =
   let trace = Workload.generate w n in
   (* Two frame layouts: identity (perfect OS contiguity) and a random
      permutation (fully fragmented memory). *)
-  let identity v = Some v in
-  let permutation =
-    let perm = Array.init space (fun i -> i) in
-    Prng.shuffle (Prng.create ~seed:42 ()) perm;
-    fun v -> Some perm.(v)
+  let layout lname =
+    if String.equal lname "contiguous" then fun v -> Some v
+    else begin
+      let perm = Array.init space (fun i -> i) in
+      Prng.shuffle (Prng.create ~seed:42 ()) perm;
+      fun v -> Some perm.(v)
+    end
   in
-  Printf.printf "%14s %12s %12s %14s %16s\n" "layout" "lookups" "misses"
-    "miss rate" "avg run length";
-  List.iter
-    (fun (name, pt) ->
-      let tlb = Atp_tlb.Coalesced.create ~max_run:8 ~entries:1536 () in
-      Array.iter
-        (fun v ->
-          match Atp_tlb.Coalesced.lookup tlb v with
-          | Some _ -> ()
-          | None ->
-            let frame = Option.get (pt v) in
-            ignore (Atp_tlb.Coalesced.fill tlb ~lookup_pt:pt ~vpage:v ~frame))
-        trace;
-      let s = Atp_tlb.Coalesced.stats tlb in
-      Printf.printf "%14s %12d %12d %14.4f %16.2f\n%!" name
-        s.Atp_tlb.Coalesced.lookups s.Atp_tlb.Coalesced.misses
-        (float_of_int s.Atp_tlb.Coalesced.misses
-         /. float_of_int (max 1 s.Atp_tlb.Coalesced.lookups))
-        (float_of_int s.Atp_tlb.Coalesced.coalesced_pages
-         /. float_of_int (max 1 s.Atp_tlb.Coalesced.fills)))
-    [ ("contiguous", identity); ("fragmented", permutation) ];
+  let tasks =
+    List.map
+      (fun lname ->
+        Spec.task ~key:lname (fun _reg ->
+            let pt = layout lname in
+            let tlb = Atp_tlb.Coalesced.create ~max_run:8 ~entries:1536 () in
+            Array.iter
+              (fun v ->
+                match Atp_tlb.Coalesced.lookup tlb v with
+                | Some _ -> ()
+                | None ->
+                  let frame = Option.get (pt v) in
+                  ignore
+                    (Atp_tlb.Coalesced.fill tlb ~lookup_pt:pt ~vpage:v ~frame))
+              trace;
+            let s = Atp_tlb.Coalesced.stats tlb in
+            Json.Obj
+              [
+                ("lookups", Json.Int s.Atp_tlb.Coalesced.lookups);
+                ("misses", Json.Int s.Atp_tlb.Coalesced.misses);
+                ( "miss_rate",
+                  Json.Float
+                    (float_of_int s.Atp_tlb.Coalesced.misses
+                    /. float_of_int (max 1 s.Atp_tlb.Coalesced.lookups)) );
+                ( "avg_run",
+                  Json.Float
+                    (float_of_int s.Atp_tlb.Coalesced.coalesced_pages
+                    /. float_of_int (max 1 s.Atp_tlb.Coalesced.fills)) );
+              ]))
+      [ "contiguous"; "fragmented" ]
+  in
+  let outcomes = run_spec (spec ~name:"coalesced" tasks) in
+  Report.print_table
+    ~columns:
+      [
+        Report.col_int ~width:12 ~field:"lookups" "lookups";
+        Report.col_int ~width:12 ~field:"misses" "misses";
+        Report.col_float ~decimals:4 ~field:"miss_rate" "miss rate";
+        Report.col_float ~width:16 ~decimals:2 ~field:"avg_run"
+          "avg run length";
+      ]
+    outcomes;
   Printf.printf
     "(decoupling needs no contiguity at all: its reach is h_max regardless \
      of layout)\n"
@@ -794,67 +1215,100 @@ let multiprog () =
   let entries = 1536 in
   let quantum = 1_000 in
   let n = scale_down 400_000 in
-  Printf.printf "%10s %12s | %14s %14s %10s\n" "processes" "ws/process"
-    "misses (asid)" "misses (flush)" "ratio";
-  List.iter
-    (fun (procs, ws) ->
-      let mk_workloads () =
-        Array.init procs (fun i ->
-            let rng = Prng.create ~seed:(60 + i) () in
-            Simple.zipf ~s:0.9 ~virtual_pages:ws rng)
-      in
-      let run ~flush =
-        let t = Atp_tlb.Asid.create ~entries () in
-        let workloads = mk_workloads () in
-        let switches = n / quantum in
-        for s = 0 to switches - 1 do
-          let asid = s mod procs in
-          if flush then Atp_tlb.Asid.flush_all t;
-          let w = workloads.(asid) in
-          for _ = 1 to quantum do
-            let v = w.Workload.next () in
-            match Atp_tlb.Asid.lookup t ~asid v with
-            | Some _ -> ()
-            | None -> ignore (Atp_tlb.Asid.insert t ~asid v v)
-          done
-        done;
-        (Atp_tlb.Asid.stats t).Atp_tlb.Tlb.misses
-      in
-      let asid_misses = run ~flush:false in
-      let flush_misses = run ~flush:true in
-      Printf.printf "%10d %12d | %14d %14d %10.2f\n%!" procs ws asid_misses
-        flush_misses
-        (float_of_int flush_misses /. float_of_int (max 1 asid_misses)))
-    [ (1, 512); (2, 512); (4, 512); (8, 512); (4, 2048) ];
+  let asid_task (procs, ws) =
+    Spec.task ~key:(Printf.sprintf "asid/p=%d/ws=%d" procs ws) (fun _reg ->
+        let mk_workloads () =
+          Array.init procs (fun i ->
+              let rng = Prng.create ~seed:(60 + i) () in
+              Simple.zipf ~s:0.9 ~virtual_pages:ws rng)
+        in
+        let run ~flush =
+          let t = Atp_tlb.Asid.create ~entries () in
+          let workloads = mk_workloads () in
+          let switches = n / quantum in
+          for s = 0 to switches - 1 do
+            let asid = s mod procs in
+            if flush then Atp_tlb.Asid.flush_all t;
+            let w = workloads.(asid) in
+            for _ = 1 to quantum do
+              let v = w.Workload.next () in
+              match Atp_tlb.Asid.lookup t ~asid v with
+              | Some _ -> ()
+              | None -> ignore (Atp_tlb.Asid.insert t ~asid v v)
+            done
+          done;
+          (Atp_tlb.Asid.stats t).Atp_tlb.Tlb.misses
+        in
+        let asid_misses = run ~flush:false in
+        let flush_misses = run ~flush:true in
+        Json.Obj
+          [
+            ("asid_misses", Json.Int asid_misses);
+            ("flush_misses", Json.Int flush_misses);
+            ( "ratio",
+              Json.Float
+                (float_of_int flush_misses /. float_of_int (max 1 asid_misses))
+            );
+          ])
+  in
   (* The L1/L2 hierarchy's effective latency across locality regimes. *)
+  let hier_task (wname, mk) =
+    Spec.task ~key:("hier/" ^ wname) (fun _reg ->
+        let t = Atp_tlb.Hierarchy.create () in
+        let w : Workload.t = mk () in
+        for _ = 1 to scale_down 400_000 do
+          let v = w.Workload.next () in
+          match Atp_tlb.Hierarchy.lookup t v with
+          | Some _, _ -> ()
+          | None, _ -> Atp_tlb.Hierarchy.insert t v v
+        done;
+        let miss_pct (s : Atp_tlb.Tlb.stats) =
+          100.0 *. float_of_int s.Atp_tlb.Tlb.misses
+          /. float_of_int (max 1 s.Atp_tlb.Tlb.lookups)
+        in
+        Json.Obj
+          [
+            ("avg_cyc", Json.Float (Atp_tlb.Hierarchy.average_latency t));
+            ( "l1_miss_pct",
+              Json.Float (miss_pct (Atp_tlb.Hierarchy.l1_stats t)) );
+            ( "l2_miss_pct",
+              Json.Float (miss_pct (Atp_tlb.Hierarchy.l2_stats t)) );
+          ])
+  in
+  let tasks =
+    List.map asid_task [ (1, 512); (2, 512); (4, 512); (8, 512); (4, 2048) ]
+    @ List.map hier_task
+        [
+          ( "zipf",
+            fun () ->
+              Simple.zipf ~s:0.9 ~virtual_pages:(1 lsl 16)
+                (Prng.create ~seed:71 ()) );
+          ("stencil", fun () -> Hpc.stencil ~rows:256 ~cols:512 ());
+          ( "gups",
+            fun () ->
+              Hpc.gups ~table_pages:(1 lsl 16) (Prng.create ~seed:72 ()) );
+        ]
+  in
+  let outcomes =
+    run_spec (spec ~name:"multiprog" ~params:[ ("entries", Json.Int entries) ] tasks)
+  in
+  Report.print_table
+    ~columns:
+      [
+        Report.col_int ~field:"asid_misses" "misses (asid)";
+        Report.col_int ~field:"flush_misses" "misses (flush)";
+        Report.col_float ~width:10 ~decimals:2 ~field:"ratio" "ratio";
+      ]
+    (List.filter (with_prefix "asid/") outcomes);
   Printf.printf "\nL1/L2 hierarchy average lookup latency (cycles):\n";
-  Printf.printf "%16s %12s %12s %12s\n" "workload" "avg cyc" "l1 miss%" "l2 miss%";
-  List.iter
-    (fun (name, mk) ->
-      let t = Atp_tlb.Hierarchy.create () in
-      let w = mk () in
-      for _ = 1 to scale_down 400_000 do
-        let v = w.Workload.next () in
-        match Atp_tlb.Hierarchy.lookup t v with
-        | Some _, _ -> ()
-        | None, _ -> Atp_tlb.Hierarchy.insert t v v
-      done;
-      let miss_pct (s : Atp_tlb.Tlb.stats) =
-        100.0 *. float_of_int s.Atp_tlb.Tlb.misses
-        /. float_of_int (max 1 s.Atp_tlb.Tlb.lookups)
-      in
-      Printf.printf "%16s %12.2f %12.1f %12.1f\n%!" name
-        (Atp_tlb.Hierarchy.average_latency t)
-        (miss_pct (Atp_tlb.Hierarchy.l1_stats t))
-        (miss_pct (Atp_tlb.Hierarchy.l2_stats t)))
-    [
-      ( "zipf",
-        fun () ->
-          Simple.zipf ~s:0.9 ~virtual_pages:(1 lsl 16) (Prng.create ~seed:71 ()) );
-      ("stencil", fun () -> Hpc.stencil ~rows:256 ~cols:512 ());
-      ( "gups",
-        fun () -> Hpc.gups ~table_pages:(1 lsl 16) (Prng.create ~seed:72 ()) );
-    ]
+  Report.print_table
+    ~columns:
+      [
+        Report.col_float ~width:12 ~decimals:2 ~field:"avg_cyc" "avg cyc";
+        Report.col_float ~width:12 ~field:"l1_miss_pct" "l1 miss%";
+        Report.col_float ~width:12 ~field:"l2_miss_pct" "l2 miss%";
+      ]
+    (List.filter (with_prefix "hier/") outcomes)
 
 (* ------------------------------------------------------------------ *)
 (* A12: HPC kernels through the Figure 1 sweep (both sides of the      *)
@@ -867,34 +1321,43 @@ let hpcfigs () =
      pages, sparse ones drown in IO";
   let ram = 1 lsl 16 in
   let n = scale_down 1_000_000 in
-  let sweep name (w : Workload.t) =
-    let warmup = Workload.generate w n in
-    let trace = Workload.generate w n in
-    Printf.printf "\n[%s] %s\n" name w.Workload.description;
-    Printf.printf "%8s %14s %14s %14s\n" "h" "IOs" "TLB misses" "cost(e=0.01)";
-    let rows =
-      Parallel.map
-        (fun h ->
-          let m =
-            Machine.create
-              { Machine.default_config with
-                ram_pages = ram; tlb_entries = 256; huge_size = h }
-          in
-          (h, Machine.run ~warmup m trace))
-        [ 1; 16; 256 ]
-    in
-    List.iter
-      (fun (h, c) ->
-        Printf.printf "%8d %14d %14d %14.1f\n%!" h c.Machine.ios
-          c.Machine.tlb_misses (Machine.cost ~epsilon c))
-      rows
+  let kernels =
+    [
+      ("stencil", fun () -> Hpc.stencil ~rows:512 ~cols:1024 ());
+      ( "multistream",
+        fun () -> Hpc.multistream ~streams:8 ~virtual_pages:(1 lsl 17) () );
+      ( "gups",
+        fun () -> Hpc.gups ~table_pages:(1 lsl 17) (Prng.create ~seed:81 ()) );
+      ( "pointer-chase",
+        fun () ->
+          Hpc.pointer_chase ~working_set:(1 lsl 14) ~virtual_pages:(1 lsl 17)
+            (Prng.create ~seed:82 ()) );
+    ]
   in
-  sweep "stencil" (Hpc.stencil ~rows:512 ~cols:1024 ());
-  sweep "multistream" (Hpc.multistream ~streams:8 ~virtual_pages:(1 lsl 17) ());
-  sweep "gups" (Hpc.gups ~table_pages:(1 lsl 17) (Prng.create ~seed:81 ()));
-  sweep "pointer-chase"
-    (Hpc.pointer_chase ~working_set:(1 lsl 14) ~virtual_pages:(1 lsl 17)
-       (Prng.create ~seed:82 ()))
+  let tasks =
+    List.concat_map
+      (fun (kname, mk) ->
+        (* One fixed (warmup, measured) trace pair per kernel, shared
+           read-only across its h tasks. *)
+        let w = mk () in
+        let warmup = Workload.generate w n in
+        let trace = Workload.generate w n in
+        List.map
+          (fun h ->
+            Spec.task ~key:(Printf.sprintf "%s/h=%d" kname h) (fun _reg ->
+                let m =
+                  Machine.create
+                    { Machine.default_config with
+                      ram_pages = ram; tlb_entries = 256; huge_size = h }
+                in
+                machine_data (Machine.run ~warmup m trace)))
+          [ 1; 16; 256 ])
+      kernels
+  in
+  let outcomes =
+    run_spec (spec ~name:"hpcfigs" ~params:[ ("ram", Json.Int ram) ] tasks)
+  in
+  Report.print_table ~columns:cost_columns outcomes
 
 (* ------------------------------------------------------------------ *)
 (* A14: iceberg hashing as a dictionary; translation prefetching       *)
@@ -906,66 +1369,105 @@ let iceberg () =
      residency) and TEMPO-style prefetch";
   let open Atp_ballsbins in
   let capacity = 1 lsl 16 in
-  Printf.printf "%8s %14s %14s %14s %12s\n" "load" "avg probes" "front frac"
-    "spill" "vs Hashtbl";
-  List.iter
-    (fun load ->
-      let t = Iceberg_table.create ~capacity () in
-      let n = int_of_float (float_of_int capacity *. load) in
-      for k = 0 to n - 1 do
-        Iceberg_table.insert t k k
-      done;
-      Iceberg_table.reset_stats t;
-      let rng = Prng.create ~seed:101 () in
-      let lookups = scale_down 400_000 in
-      let t0 = Sys.time () in
-      for _ = 1 to lookups do
-        ignore (Iceberg_table.find t (Prng.int rng n))
-      done;
-      let iceberg_time = Sys.time () -. t0 in
-      let reference = Hashtbl.create capacity in
-      for k = 0 to n - 1 do Hashtbl.replace reference k k done;
-      let rng = Prng.create ~seed:101 () in
-      let t0 = Sys.time () in
-      for _ = 1 to lookups do
-        ignore (Hashtbl.find_opt reference (Prng.int rng n))
-      done;
-      let hashtbl_time = Sys.time () -. t0 in
-      let s = Iceberg_table.stats t in
-      Printf.printf "%8.2f %14.2f %14.3f %14d %11.2fx\n%!" load
-        (float_of_int s.Iceberg_table.slots_probed
-         /. float_of_int (max 1 s.Iceberg_table.lookups))
-        (Iceberg_table.front_yard_fraction t)
-        (Iceberg_table.overflow_count t)
-        (iceberg_time /. Float.max 1e-9 hashtbl_time))
-    [ 0.25; 0.5; 0.75; 0.9; 1.0 ];
+  let load_task load =
+    Spec.task ~key:(Printf.sprintf "load=%.2f" load) (fun _reg ->
+        let t = Iceberg_table.create ~capacity () in
+        let n = int_of_float (float_of_int capacity *. load) in
+        for k = 0 to n - 1 do
+          Iceberg_table.insert t k k
+        done;
+        Iceberg_table.reset_stats t;
+        let rng = Prng.create ~seed:101 () in
+        let lookups = scale_down 400_000 in
+        let t0 = Sys.time () in
+        for _ = 1 to lookups do
+          ignore (Iceberg_table.find t (Prng.int rng n))
+        done;
+        let iceberg_time = Sys.time () -. t0 in
+        let reference = Hashtbl.create capacity in
+        for k = 0 to n - 1 do
+          Hashtbl.replace reference k k
+        done;
+        let rng = Prng.create ~seed:101 () in
+        let t0 = Sys.time () in
+        for _ = 1 to lookups do
+          ignore (Hashtbl.find_opt reference (Prng.int rng n))
+        done;
+        let hashtbl_time = Sys.time () -. t0 in
+        let s = Iceberg_table.stats t in
+        Json.Obj
+          [
+            ( "avg_probes",
+              Json.Float
+                (float_of_int s.Iceberg_table.slots_probed
+                /. float_of_int (max 1 s.Iceberg_table.lookups)) );
+            ( "front_frac",
+              Json.Float (Iceberg_table.front_yard_fraction t) );
+            ("spill", Json.Int (Iceberg_table.overflow_count t));
+            ( "vs_hashtbl",
+              Json.Float (iceberg_time /. Float.max 1e-9 hashtbl_time) );
+          ])
+  in
   (* Prefetch: the optimization whose payoff huge pages erode (§7). *)
-  Printf.printf "\nTEMPO-style next-page prefetch (64-entry TLB, degree 2):\n";
-  Printf.printf "%14s %14s %14s %12s\n" "workload" "misses (off)" "misses (on)"
-    "accuracy";
   let pt v = if v >= 0 then Some v else None in
   let n = scale_down 400_000 in
-  List.iter
-    (fun (name, mk) ->
-      let run degree =
-        let t = Atp_tlb.Prefetch.create ~degree ~entries:64 ~translate:pt () in
-        let w : Workload.t = mk () in
-        for _ = 1 to n do
-          ignore (Atp_tlb.Prefetch.lookup t (w.Workload.next ()))
-        done;
-        t
-      in
-      let off = run 0 and on_ = run 2 in
-      Printf.printf "%14s %14d %14d %12.3f\n%!" name
-        (Atp_tlb.Prefetch.stats off).Atp_tlb.Prefetch.demand_misses
-        (Atp_tlb.Prefetch.stats on_).Atp_tlb.Prefetch.demand_misses
-        (Atp_tlb.Prefetch.accuracy on_))
-    [
-      ("sequential", fun () -> Simple.sequential ~virtual_pages:(1 lsl 14) ());
-      ("stencil", fun () -> Hpc.stencil ~rows:128 ~cols:512 ());
-      ( "gups",
-        fun () -> Hpc.gups ~table_pages:(1 lsl 14) (Prng.create ~seed:103 ()) );
-    ]
+  let prefetch_task (wname, mk) =
+    Spec.task ~key:("prefetch/" ^ wname) (fun _reg ->
+        let run degree =
+          let t =
+            Atp_tlb.Prefetch.create ~degree ~entries:64 ~translate:pt ()
+          in
+          let w : Workload.t = mk () in
+          for _ = 1 to n do
+            ignore (Atp_tlb.Prefetch.lookup t (w.Workload.next ()))
+          done;
+          t
+        in
+        let off = run 0 and on_ = run 2 in
+        Json.Obj
+          [
+            ( "misses_off",
+              Json.Int
+                (Atp_tlb.Prefetch.stats off).Atp_tlb.Prefetch.demand_misses );
+            ( "misses_on",
+              Json.Int
+                (Atp_tlb.Prefetch.stats on_).Atp_tlb.Prefetch.demand_misses );
+            ("accuracy", Json.Float (Atp_tlb.Prefetch.accuracy on_));
+          ])
+  in
+  let tasks =
+    List.map load_task [ 0.25; 0.5; 0.75; 0.9; 1.0 ]
+    @ List.map prefetch_task
+        [
+          ( "sequential",
+            fun () -> Simple.sequential ~virtual_pages:(1 lsl 14) () );
+          ("stencil", fun () -> Hpc.stencil ~rows:128 ~cols:512 ());
+          ( "gups",
+            fun () ->
+              Hpc.gups ~table_pages:(1 lsl 14) (Prng.create ~seed:103 ()) );
+        ]
+  in
+  let outcomes =
+    run_spec (spec ~name:"iceberg" ~params:[ ("capacity", Json.Int capacity) ] tasks)
+  in
+  Report.print_table
+    ~columns:
+      [
+        Report.col_float ~decimals:2 ~field:"avg_probes" "avg probes";
+        Report.col_float ~decimals:3 ~field:"front_frac" "front frac";
+        Report.col_int ~field:"spill" "spill";
+        Report.col_float ~width:12 ~decimals:2 ~field:"vs_hashtbl" "vs Hashtbl";
+      ]
+    (List.filter (with_prefix "load=") outcomes);
+  Printf.printf "\nTEMPO-style next-page prefetch (64-entry TLB, degree 2):\n";
+  Report.print_table
+    ~columns:
+      [
+        Report.col_int ~field:"misses_off" "misses (off)";
+        Report.col_int ~field:"misses_on" "misses (on)";
+        Report.col_float ~width:12 ~decimals:3 ~field:"accuracy" "accuracy";
+      ]
+    (List.filter (with_prefix "prefetch/") outcomes)
 
 (* ------------------------------------------------------------------ *)
 (* B1: microbenchmarks (Bechamel)                                      *)
@@ -973,98 +1475,125 @@ let iceberg () =
 
 let micro () =
   header "B1: microbenchmarks (ns per operation, OLS fit)";
-  let open Bechamel in
-  let open Toolkit in
-  (* One Test.make per core operation and per figure pipeline step. *)
-  let lru_test =
-    let inst = Policy.instantiate (module Lru) ~capacity:4096 () in
-    let rng = Prng.create ~seed:1 () in
-    Test.make ~name:"lru-access"
-      (Staged.stage (fun () ->
-           ignore (inst.Policy.access (Prng.int rng 16_384))))
-  in
-  let tlb_test =
-    let tlb = Atp_tlb.Tlb.create ~entries:1536 () in
-    let rng = Prng.create ~seed:2 () in
-    Test.make ~name:"tlb-lookup+fill"
-      (Staged.stage (fun () ->
-           let u = Prng.int rng 8192 in
-           match Atp_tlb.Tlb.lookup tlb u with
-           | Some _ -> ()
-           | None -> ignore (Atp_tlb.Tlb.insert tlb u u)))
-  in
-  let alloc_test =
-    let params = Params.derive ~p:(1 lsl 16) ~w:64 () in
-    let a = Alloc.create params in
-    let budget = Params.usable_pages params in
-    let rng = Prng.create ~seed:3 () in
-    Test.make ~name:"iceberg-churn"
-      (Staged.stage (fun () ->
-           let page = Prng.int rng (1 lsl 18) in
-           if Alloc.mem a page then Alloc.delete a page
-           else if Alloc.live a < budget then ignore (Alloc.insert a page)))
-  in
-  let decode_test =
-    let params = Params.derive ~p:(1 lsl 16) ~w:64 () in
-    let a = Alloc.create params in
-    let e = Encoding.create a in
-    let value = Encoding.empty_value e in
-    for i = 0 to Encoding.h_max e - 1 do
-      ignore (Alloc.insert a i);
-      Encoding.refresh_page e value i
-    done;
-    let rng = Prng.create ~seed:4 () in
-    Test.make ~name:"tlb-decode-f"
-      (Staged.stage (fun () ->
-           ignore (Encoding.decode e (Prng.int rng (Encoding.h_max e)) value)))
-  in
-  let machine_test =
-    let m =
-      Machine.create
-        { Machine.default_config with
-          ram_pages = 1 lsl 14; tlb_entries = 512; huge_size = 8 }
-    in
-    let rng = Prng.create ~seed:5 () in
-    Test.make ~name:"machine-access(fig1-step)"
-      (Staged.stage (fun () -> Machine.access m (Prng.int rng (1 lsl 16))))
-  in
-  let sim_test =
-    let params = Params.derive ~p:(1 lsl 14) ~w:64 () in
-    let x = Policy.instantiate (module Lru) ~capacity:512 () in
-    let y =
-      Policy.instantiate (module Lru) ~capacity:(Params.usable_pages params) ()
-    in
-    let z = Simulation.create ~params ~x ~y () in
-    let rng = Prng.create ~seed:6 () in
-    Test.make ~name:"simulation-access(Z-step)"
-      (Staged.stage (fun () -> Simulation.access z (Prng.int rng (1 lsl 16))))
-  in
-  let tests =
-    [ lru_test; tlb_test; alloc_test; decode_test; machine_test; sim_test ]
-  in
-  let grouped = Test.make_grouped ~name:"atp" tests in
-  let ols =
-    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
-  in
-  let instances = Instance.[ monotonic_clock ] in
-  let cfg =
-    Benchmark.cfg ~limit:2000
-      ~quota:(Time.second (if quick then 0.25 else 0.5))
-      ~kde:(Some 1000) ()
-  in
-  let raw = Benchmark.all cfg instances grouped in
-  let results = List.map (fun i -> Analyze.all ols i raw) instances in
-  let merged = Analyze.merge ols instances results in
-  Hashtbl.iter
-    (fun measure per_test ->
-      if String.equal measure (Measure.label Instance.monotonic_clock) then
+  let task =
+    Spec.task ~key:"bechamel" (fun _reg ->
+        let open Bechamel in
+        let open Toolkit in
+        (* One Test.make per core operation and per figure pipeline
+           step. *)
+        let lru_test =
+          let inst = Policy.instantiate (module Lru) ~capacity:4096 () in
+          let rng = Prng.create ~seed:1 () in
+          Test.make ~name:"lru-access"
+            (Staged.stage (fun () ->
+                 ignore (inst.Policy.access (Prng.int rng 16_384))))
+        in
+        let tlb_test =
+          let tlb = Atp_tlb.Tlb.create ~entries:1536 () in
+          let rng = Prng.create ~seed:2 () in
+          Test.make ~name:"tlb-lookup+fill"
+            (Staged.stage (fun () ->
+                 let u = Prng.int rng 8192 in
+                 match Atp_tlb.Tlb.lookup tlb u with
+                 | Some _ -> ()
+                 | None -> ignore (Atp_tlb.Tlb.insert tlb u u)))
+        in
+        let alloc_test =
+          let params = Params.derive ~p:(1 lsl 16) ~w:64 () in
+          let a = Alloc.create params in
+          let budget = Params.usable_pages params in
+          let rng = Prng.create ~seed:3 () in
+          Test.make ~name:"iceberg-churn"
+            (Staged.stage (fun () ->
+                 let page = Prng.int rng (1 lsl 18) in
+                 if Alloc.mem a page then Alloc.delete a page
+                 else if Alloc.live a < budget then ignore (Alloc.insert a page)))
+        in
+        let decode_test =
+          let params = Params.derive ~p:(1 lsl 16) ~w:64 () in
+          let a = Alloc.create params in
+          let e = Encoding.create a in
+          let value = Encoding.empty_value e in
+          for i = 0 to Encoding.h_max e - 1 do
+            ignore (Alloc.insert a i);
+            Encoding.refresh_page e value i
+          done;
+          let rng = Prng.create ~seed:4 () in
+          Test.make ~name:"tlb-decode-f"
+            (Staged.stage (fun () ->
+                 ignore
+                   (Encoding.decode e (Prng.int rng (Encoding.h_max e)) value)))
+        in
+        let machine_test =
+          let m =
+            Machine.create
+              { Machine.default_config with
+                ram_pages = 1 lsl 14; tlb_entries = 512; huge_size = 8 }
+          in
+          let rng = Prng.create ~seed:5 () in
+          Test.make ~name:"machine-access(fig1-step)"
+            (Staged.stage (fun () -> Machine.access m (Prng.int rng (1 lsl 16))))
+        in
+        let sim_test =
+          let params = Params.derive ~p:(1 lsl 14) ~w:64 () in
+          let x = Policy.instantiate (module Lru) ~capacity:512 () in
+          let y =
+            Policy.instantiate (module Lru)
+              ~capacity:(Params.usable_pages params) ()
+          in
+          let z = Simulation.create ~params ~x ~y () in
+          let rng = Prng.create ~seed:6 () in
+          Test.make ~name:"simulation-access(Z-step)"
+            (Staged.stage (fun () ->
+                 Simulation.access z (Prng.int rng (1 lsl 16))))
+        in
+        let tests =
+          [ lru_test; tlb_test; alloc_test; decode_test; machine_test; sim_test ]
+        in
+        let grouped = Test.make_grouped ~name:"atp" tests in
+        let ols =
+          Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+        in
+        let instances = Instance.[ monotonic_clock ] in
+        let cfg =
+          Benchmark.cfg ~limit:2000
+            ~quota:(Time.second (if quick then 0.25 else 0.5))
+            ~kde:(Some 1000) ()
+        in
+        let raw = Benchmark.all cfg instances grouped in
+        let results = List.map (fun i -> Analyze.all ols i raw) instances in
+        let merged = Analyze.merge ols instances results in
+        let rows = ref [] in
         Hashtbl.iter
-          (fun name ols_result ->
-            match Analyze.OLS.estimates ols_result with
-            | Some [ est ] -> Printf.printf "%-36s %12.1f ns/op\n" name est
-            | _ -> Printf.printf "%-36s %12s\n" name "n/a")
-          per_test)
-    merged
+          (fun measure per_test ->
+            if String.equal measure (Measure.label Instance.monotonic_clock)
+            then
+              Hashtbl.iter
+                (fun name ols_result ->
+                  match Analyze.OLS.estimates ols_result with
+                  | Some [ est ] -> rows := (name, Json.Float est) :: !rows
+                  | _ -> rows := (name, Json.Null) :: !rows)
+                per_test)
+          merged;
+        Json.Obj
+          (List.sort (fun (a, _) (b, _) -> String.compare a b) !rows))
+  in
+  let outcomes = run_spec (spec ~name:"micro" [ task ]) in
+  List.iter
+    (fun o ->
+      match Outcome.data o with
+      | Some (Json.Obj fields) ->
+        List.iter
+          (fun (name, v) ->
+            match Json.as_float v with
+            | Some est -> Printf.printf "%-36s %12.1f ns/op\n" name est
+            | None -> Printf.printf "%-36s %12s\n" name "n/a")
+          fields
+      | Some _ -> ()
+      | None ->
+        Printf.printf "bechamel FAILED: %s\n"
+          (match Outcome.error o with Some (e, _) -> e | None -> "unknown"))
+    outcomes
 
 (* ------------------------------------------------------------------ *)
 
@@ -1091,13 +1620,8 @@ let experiments =
   ]
 
 let () =
-  let requested =
-    Array.to_list Sys.argv |> List.tl
-    |> List.filter (fun a ->
-           not (String.length a >= 2 && String.sub a 0 2 = "--"))
-  in
   let to_run =
-    if requested = [] then experiments
+    if !requested = [] then experiments
     else
       List.map
         (fun name ->
@@ -1107,7 +1631,7 @@ let () =
             Printf.eprintf "unknown experiment %S; known: %s\n" name
               (String.concat ", " (List.map fst experiments));
             exit 2)
-        requested
+        !requested
   in
   Printf.printf "atp benchmark harness%s\n" (if quick then " (quick mode)" else "");
   List.iter (fun (_, f) -> f ()) to_run;

@@ -197,37 +197,141 @@ let params_cmd =
 (* sweep                                                               *)
 (* ------------------------------------------------------------------ *)
 
+let json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"PATH"
+        ~doc:
+          "Write the sweep as an atp.bench/1 row stream to $(docv) (one JSON \
+           row per huge-page size; see EXPERIMENTS.md).  Also checkpoints \
+           each completed size to $(docv).ckpt, enabling $(b,--resume).")
+
+let resume_arg =
+  Arg.(
+    value & flag
+    & info [ "resume" ]
+        ~doc:
+          "Skip sizes already checkpointed by a previous (killed) run of the \
+           same $(b,--json) sweep; requires $(b,--json).")
+
 let sweep_cmd =
   let run workload vpages ram tlb epsilon accesses warmup seed trace_file
-      metrics trace_out trace_capacity =
-    let reg = mk_registry ~trace_out ~trace_capacity in
+      json_path resume metrics trace_out trace_capacity =
+    if resume && json_path = None then begin
+      prerr_endline "atsim: --resume requires --json PATH";
+      exit 2
+    end;
+    (* Under the runner every size is a task with a private metric
+       registry, so the sweep parallelizes and a killed run resumes.
+       Event tracing shares one ring across tasks, which forces
+       sequential execution when --trace is given. *)
+    let tracer =
+      match trace_out with
+      | Some _ -> Obs.Trace.create ~capacity:trace_capacity
+      | None -> Obs.Trace.disabled
+    in
+    let task h =
+      Atp_exp.Spec.task ~key:(Printf.sprintf "h=%d" h) (fun reg ->
+          if trace_out <> None then Obs.Registry.set_trace reg tracer;
+          let w = mk_workload ?trace_file workload ~vpages ~seed in
+          let warmup_trace = Workload.generate w warmup in
+          let trace = Workload.generate w accesses in
+          let m =
+            Machine.create
+              ~obs:(Obs.Scope.v ~prefix:(Printf.sprintf "machine.h%d" h) reg)
+              { Machine.default_config with
+                ram_pages = ram; tlb_entries = tlb; huge_size = h; epsilon }
+          in
+          let c = Machine.run ~warmup:warmup_trace m trace in
+          Obs.Json.Obj
+            [
+              ("h", Obs.Json.Int h);
+              ("ios", Obs.Json.Int c.Machine.ios);
+              ("tlb_misses", Obs.Json.Int c.Machine.tlb_misses);
+              ("cost", Obs.Json.Float (Machine.cost ~epsilon c));
+            ])
+    in
+    let sizes =
+      List.filter (fun h -> h <= ram) [ 1; 2; 4; 8; 16; 32; 64; 128; 256; 512; 1024 ]
+    in
+    let spec =
+      Atp_exp.Spec.v ~name:"sweep"
+        ~params:
+          [
+            ("ram", Obs.Json.Int ram);
+            ("tlb", Obs.Json.Int tlb);
+            ("epsilon", Obs.Json.Float epsilon);
+            ("accesses", Obs.Json.Int accesses);
+            ("warmup", Obs.Json.Int warmup);
+            ("seed", Obs.Json.Int seed);
+            ("vpages", Obs.Json.Int vpages);
+          ]
+        (List.map task sizes)
+    in
+    let config =
+      {
+        Atp_exp.Runner.default_config with
+        domains = (if trace_out <> None then Some 1 else None);
+        json_path;
+        checkpoint_path = Option.map (fun p -> p ^ ".ckpt") json_path;
+        resume;
+      }
+    in
+    let outcomes = Atp_exp.Runner.run ~config spec in
     Format.printf "%8s %14s %14s %14s@." "h" "IOs" "TLB misses"
       (Printf.sprintf "cost(e=%g)" epsilon);
     List.iter
-      (fun h ->
-        let w = mk_workload ?trace_file workload ~vpages ~seed in
-        let warmup_trace = Workload.generate w warmup in
-        let trace = Workload.generate w accesses in
-        let m =
-          Machine.create
-            ~obs:(Obs.Scope.v ~prefix:(Printf.sprintf "machine.h%d" h) reg)
-            { Machine.default_config with
-              ram_pages = ram; tlb_entries = tlb; huge_size = h; epsilon }
+      (fun (o : Atp_exp.Outcome.t) ->
+        match
+          ( Atp_exp.Outcome.int_field "h" o,
+            Atp_exp.Outcome.int_field "ios" o,
+            Atp_exp.Outcome.int_field "tlb_misses" o,
+            Atp_exp.Outcome.float_field "cost" o )
+        with
+        | Some h, Some ios, Some tlb_misses, Some cost ->
+          Format.printf "%8d %14d %14d %14.1f@." h ios tlb_misses cost
+        | _ ->
+          Format.printf "%8s failed: %s@." o.Atp_exp.Outcome.key
+            (match Atp_exp.Outcome.error o with
+            | Some (e, _) -> e
+            | None -> "unknown"))
+      outcomes;
+    (* --metrics: per-task registry snapshots live in the JSON rows;
+       the file export merges them (prefixes are disjoint by h). *)
+    Option.iter
+      (fun path ->
+        let section name =
+          let fields =
+            List.concat_map
+              (fun o ->
+                match
+                  Option.bind (Atp_exp.Outcome.obs o) (Obs.Json.member name)
+                with
+                | Some (Obs.Json.Obj kvs) -> kvs
+                | Some _ | None -> [])
+              outcomes
+          in
+          (name, Obs.Json.Obj fields)
         in
-        let c = Machine.run ~warmup:warmup_trace m trace in
-        Format.printf "%8d %14d %14d %14.1f@." h c.Machine.ios
-          c.Machine.tlb_misses
-          (Machine.cost ~epsilon c))
-      [ 1; 2; 4; 8; 16; 32; 64; 128; 256; 512; 1024 ];
-    export_obs reg ~metrics ~trace_out
+        Out_channel.with_open_text path (fun oc ->
+            output_string oc
+              (Obs.Json.to_string
+                 (Obs.Json.Obj
+                    [
+                      section "counters"; section "gauges"; section "histograms";
+                    ]));
+            output_char oc '\n'))
+      metrics;
+    Option.iter (fun path -> Obs.Trace.write_jsonl path tracer) trace_out
   in
   Cmd.v
     (Cmd.info "sweep"
        ~doc:"Huge-page-size sweep (the Figure 1 experiment) on a workload.")
     Term.(
       const run $ workload_arg $ vpages_arg $ ram_arg $ tlb_arg $ epsilon_arg
-      $ accesses_arg $ warmup_arg $ seed_arg $ trace_file_arg $ metrics_arg
-      $ trace_out_arg $ trace_capacity_arg)
+      $ accesses_arg $ warmup_arg $ seed_arg $ trace_file_arg $ json_arg
+      $ resume_arg $ metrics_arg $ trace_out_arg $ trace_capacity_arg)
 
 (* ------------------------------------------------------------------ *)
 (* decoupled                                                           *)

@@ -1,0 +1,55 @@
+module Json = Atp_obs.Json
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_lines with
+  | exception Sys_error _ -> []
+  | lines ->
+    (* A killed run can leave a torn final line; a malformed line is
+       simply not a completed task and its task re-runs on resume. *)
+    List.filter_map
+      (fun line ->
+        if String.length line = 0 then None
+        else
+          match Json.of_string line with
+          | Error _ -> None
+          | Ok json -> (
+            match Schema.task_of_row json with
+            | Some task -> Some (task, line)
+            | None -> None))
+      lines
+
+type t = { oc : out_channel; lock : Mutex.t }
+
+let ensure_parent_dir path =
+  let dir = Filename.dirname path in
+  let rec mk d =
+    if not (Sys.file_exists d) then begin
+      mk (Filename.dirname d);
+      (* A concurrent creator is fine; re-check instead of failing. *)
+      try Sys.mkdir d 0o755 with Sys_error _ when Sys.file_exists d -> ()
+    end
+  in
+  mk dir
+
+let create ~append path =
+  ensure_parent_dir path;
+  let flags =
+    (if append then [ Open_append ] else [ Open_trunc ])
+    @ [ Open_wronly; Open_creat ]
+  in
+  { oc = open_out_gen flags 0o644 path; lock = Mutex.create () }
+
+let append t line =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      output_string t.oc line;
+      output_char t.oc '\n';
+      (* Durability is the point: the row must be on disk before the
+         task counts as finished, or a kill window would lose it. *)
+      flush t.oc)
+
+let close t = close_out t.oc
+
+let remove path = if Sys.file_exists path then Sys.remove path

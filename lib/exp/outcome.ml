@@ -1,0 +1,32 @@
+module Json = Atp_obs.Json
+
+type t = { key : string; row : Json.t; row_text : string; replayed : bool }
+
+let v ~key ~row ~row_text ~replayed = { key; row; row_text; replayed }
+
+let ok t =
+  match Schema.status_of_row t.row with
+  | Some s -> String.equal s "ok"
+  | None -> false
+
+let data t = if ok t then Schema.data_of_row t.row else None
+
+let error t = Schema.error_of_row t.row
+
+let attempts t =
+  match Option.bind (Json.member "attempts" t.row) Json.as_int with
+  | Some a -> a
+  | None -> 0
+
+let wall_s t =
+  match Option.bind (Json.member "wall_s" t.row) Json.as_float with
+  | Some w -> w
+  | None -> 0.0
+
+let obs t = Json.member "obs" t.row
+
+let field key t = Option.bind (data t) (Json.member key)
+
+let int_field key t = Option.bind (field key t) Json.as_int
+
+let float_field key t = Option.bind (field key t) Json.as_float

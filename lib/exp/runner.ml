@@ -1,0 +1,129 @@
+module Json = Atp_obs.Json
+module Registry = Atp_obs.Registry
+
+type config = {
+  domains : int option;
+  retries : int;
+  retryable : exn -> bool;
+  json_path : string option;
+  checkpoint_path : string option;
+  resume : bool;
+  clock : (unit -> float) option;
+}
+
+let default_config =
+  {
+    domains = None;
+    retries = 0;
+    retryable = (fun _ -> true);
+    json_path = None;
+    checkpoint_path = None;
+    resume = false;
+    clock = None;
+  }
+
+(* The one deliberate wall-clock read in lib/: per-task durations are
+   measurement {e metadata}, carried in the row's [wall_s] field, never
+   an input to any simulated quantity.  Tests needing byte-stable
+   streams inject a deterministic [clock] instead. *)
+let wall_clock () = (Unix.gettimeofday [@atplint.allow "determinism"]) ()
+
+let run_task ~clock ~retries ~retryable ~experiment (task : Spec.task) =
+  let t0 = clock () in
+  let rec go attempt =
+    let reg = Registry.create () in
+    match task.Spec.run reg with
+    | data ->
+      let wall_s = clock () -. t0 in
+      Schema.ok_row ~experiment ~task:task.Spec.key ~attempts:attempt ~wall_s
+        ~data ~obs:(Registry.snapshot reg)
+    | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      if attempt <= retries && retryable e then go (attempt + 1)
+      else begin
+        let wall_s = clock () -. t0 in
+        Schema.error_row ~experiment ~task:task.Spec.key ~attempts:attempt
+          ~wall_s ~exn_text:(Printexc.to_string e)
+          ~backtrace:(Printexc.raw_backtrace_to_string bt)
+      end
+  in
+  go 1
+
+let write_stream path ~meta outcomes =
+  Checkpoint.ensure_parent_dir path;
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  output_string oc (Json.to_string meta);
+  output_char oc '\n';
+  List.iter
+    (fun o ->
+      output_string oc o.Outcome.row_text;
+      output_char oc '\n')
+    outcomes;
+  close_out oc;
+  (* Atomic publish: readers of BENCH files never see a torn stream. *)
+  Sys.rename tmp path
+
+let run ?(config = default_config) (spec : Spec.t) =
+  let clock = Option.value config.clock ~default:wall_clock in
+  let replayed =
+    match config.checkpoint_path with
+    | Some path when config.resume ->
+      let table = Hashtbl.create 32 in
+      (* Last write wins, matching append order on disk. *)
+      List.iter
+        (fun (key, line) -> Hashtbl.replace table key line)
+        (Checkpoint.load path);
+      table
+    | Some _ | None -> Hashtbl.create 0
+  in
+  let checkpoint =
+    Option.map
+      (fun path -> Checkpoint.create ~append:config.resume path)
+      config.checkpoint_path
+  in
+  let fresh (task : Spec.task) =
+    let row =
+      run_task ~clock ~retries:config.retries ~retryable:config.retryable
+        ~experiment:spec.Spec.name task
+    in
+    let row_text = Json.to_string row in
+    (* Only completed work checkpoints; failures must re-run on
+       resume. *)
+    (match (checkpoint, Schema.status_of_row row) with
+     | Some ck, Some "ok" -> Checkpoint.append ck row_text
+     | Some _, _ | None, _ -> ());
+    Outcome.v ~key:task.Spec.key ~row ~row_text ~replayed:false
+  in
+  let outcome_of_task (task : Spec.task) =
+    match Hashtbl.find_opt replayed task.Spec.key with
+    | Some line -> (
+      match Json.of_string line with
+      | Ok row ->
+        Outcome.v ~key:task.Spec.key ~row ~row_text:line ~replayed:true
+      | Error _ ->
+        (* load already filtered malformed lines; unreachable, but a
+           re-run is the safe meaning either way. *)
+        fresh task)
+    | None -> fresh task
+  in
+  let outcomes =
+    Atp_util.Parallel.map ?domains:config.domains outcome_of_task
+      spec.Spec.tasks
+  in
+  Option.iter Checkpoint.close checkpoint;
+  Option.iter
+    (fun path ->
+      let meta =
+        Schema.meta_line ~experiment:spec.Spec.name ~params:spec.Spec.params
+          ~tasks:(List.length spec.Spec.tasks)
+      in
+      write_stream path ~meta outcomes)
+    config.json_path;
+  (* A fully-ok run has nothing left to resume; drop the checkpoint so
+     the next invocation starts clean.  Any failure keeps it: --resume
+     then retries exactly the failed tasks. *)
+  (match config.checkpoint_path with
+   | Some path when List.for_all Outcome.ok outcomes -> Checkpoint.remove path
+   | Some _ | None -> ());
+  outcomes

@@ -1,0 +1,50 @@
+(** The fault-tolerant experiment runner.
+
+    [run spec] executes every task of [spec] over OCaml 5 domains
+    (sequentially on 4.x) with {e per-task} outcomes: one raising task
+    becomes an error row — exception text plus the backtrace captured
+    in the raising domain — while every sibling still completes and
+    reports.  Transient failures retry up to [retries] extra attempts.
+    Each task gets a private obs registry and a wall-clock duration,
+    both recorded in its schema row (see {!Schema}).
+
+    With [checkpoint_path], every completed (ok) task is appended to
+    the checkpoint and flushed before the run moves on, so a killed
+    sweep loses at most in-flight tasks; re-running with
+    [resume = true] replays checkpointed rows verbatim and executes
+    only the rest.  With [json_path], the full row stream
+    (meta line + one row per task, in spec order) is written
+    atomically at the end — a resumed run's stream is byte-identical
+    to an uninterrupted one, because replayed rows are re-emitted as
+    the exact bytes the first run persisted.
+
+    After a run in which {e every} task is ok, the checkpoint file is
+    deleted; if any task failed it is kept, so a further [resume]
+    retries exactly the failures. *)
+
+type config = {
+  domains : int option;
+      (** worker domains; [None] = recommended count *)
+  retries : int;  (** extra attempts after the first, per task *)
+  retryable : exn -> bool;
+      (** which exceptions are transient (default: all) *)
+  json_path : string option;
+      (** write the [BENCH] row stream here, atomically *)
+  checkpoint_path : string option;  (** durability; see {!Checkpoint} *)
+  resume : bool;
+      (** skip tasks already in the checkpoint (otherwise the
+          checkpoint is truncated and the run starts clean) *)
+  clock : (unit -> float) option;
+      (** seconds; [None] = wall clock.  Injectable so tests can make
+          [wall_s] — and therefore whole streams — deterministic. *)
+}
+
+val default_config : config
+(** No parallelism cap, no retries, everything retryable, no JSON, no
+    checkpoint, wall clock. *)
+
+val run : ?config:config -> Spec.t -> Outcome.t list
+(** Outcomes in spec order, one per task.  Does not raise on task
+    failure — failures are data ({!Outcome.error}).
+    @raise Sys_error if the checkpoint or JSON path cannot be
+    created. *)

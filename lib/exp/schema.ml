@@ -1,0 +1,195 @@
+module Json = Atp_obs.Json
+
+let version = "atp.bench/1"
+
+let meta_line ~experiment ~params ~tasks =
+  Json.Obj
+    [
+      ("schema", Json.String version);
+      ("kind", Json.String "meta");
+      ("experiment", Json.String experiment);
+      ("params", Json.Obj params);
+      ("tasks", Json.Int tasks);
+    ]
+
+let row_prefix ~experiment ~task =
+  [
+    ("schema", Json.String version);
+    ("kind", Json.String "row");
+    ("experiment", Json.String experiment);
+    ("task", Json.String task);
+  ]
+
+let ok_row ~experiment ~task ~attempts ~wall_s ~data ~obs =
+  Json.Obj
+    (row_prefix ~experiment ~task
+    @ [
+        ("status", Json.String "ok");
+        ("attempts", Json.Int attempts);
+        ("wall_s", Json.Float wall_s);
+        ("data", data);
+        ("obs", obs);
+      ])
+
+let error_row ~experiment ~task ~attempts ~wall_s ~exn_text ~backtrace =
+  Json.Obj
+    (row_prefix ~experiment ~task
+    @ [
+        ("status", Json.String "error");
+        ("attempts", Json.Int attempts);
+        ("wall_s", Json.Float wall_s);
+        ( "error",
+          Json.Obj
+            [
+              ("exn", Json.String exn_text);
+              ("backtrace", Json.String backtrace);
+            ] );
+      ])
+
+let str_field key json = Option.bind (Json.member key json) Json.as_string
+
+let is_row json =
+  (match str_field "schema" json with
+   | Some v -> String.equal v version
+   | None -> false)
+  &&
+  match str_field "kind" json with
+  | Some k -> String.equal k "row"
+  | None -> false
+
+let task_of_row json = if is_row json then str_field "task" json else None
+
+let status_of_row json = str_field "status" json
+
+let data_of_row json = Json.member "data" json
+
+let error_of_row json =
+  match Json.member "error" json with
+  | Some err -> (
+    match (str_field "exn" err, str_field "backtrace" err) with
+    | Some exn_text, Some backtrace -> Some (exn_text, backtrace)
+    | _ -> None)
+  | None -> None
+
+(* --- validation --------------------------------------------------- *)
+
+let check cond msg = if cond then Ok () else Error msg
+
+let ( let* ) r f = Result.bind r f
+
+let validate_row ~experiment json =
+  let* () = check (is_row json) "not a row of schema atp.bench/1" in
+  let* () =
+    check
+      (match str_field "experiment" json with
+       | Some e -> String.equal e experiment
+       | None -> false)
+      "row experiment does not match the meta line"
+  in
+  let* task =
+    Option.to_result ~none:"row is missing a task key" (str_field "task" json)
+  in
+  let* () =
+    check
+      (match Option.bind (Json.member "attempts" json) Json.as_int with
+       | Some a -> a >= 1
+       | None -> false)
+      "row needs an integer attempts >= 1"
+  in
+  let* () =
+    check
+      (match Option.bind (Json.member "wall_s" json) Json.as_float with
+       | Some w -> w >= 0.0
+       | None -> false)
+      "row needs a non-negative wall_s"
+  in
+  let* () =
+    match status_of_row json with
+    | Some "ok" ->
+      check
+        (Option.is_some (data_of_row json)
+        && Option.is_some (Json.member "obs" json))
+        "ok row needs data and obs fields"
+    | Some "error" ->
+      check (Option.is_some (error_of_row json))
+        "error row needs an error object with exn and backtrace"
+    | Some _ | None -> Error "row status must be \"ok\" or \"error\""
+  in
+  Ok task
+
+let validate_meta json =
+  let* () =
+    check
+      (match str_field "schema" json with
+       | Some v -> String.equal v version
+       | None -> false)
+      (Printf.sprintf "first line must declare schema %S" version)
+  in
+  let* () =
+    check
+      (match str_field "kind" json with
+       | Some k -> String.equal k "meta"
+       | None -> false)
+      "first line must be the meta line (kind=meta)"
+  in
+  let* experiment =
+    Option.to_result ~none:"meta line is missing the experiment name"
+      (str_field "experiment" json)
+  in
+  let* () =
+    check
+      (match Json.member "params" json with
+       | Some (Json.Obj _) -> true
+       | _ -> false)
+      "meta line needs a params object"
+  in
+  let* tasks =
+    Option.to_result ~none:"meta line needs an integer tasks count"
+      (Option.bind (Json.member "tasks" json) Json.as_int)
+  in
+  Ok (experiment, tasks)
+
+let validate_lines lines =
+  match lines with
+  | [] -> Error "empty stream: expected a meta line"
+  | meta_text :: rows ->
+    let* meta =
+      Result.map_error (fun e -> "meta line: " ^ e) (Json.of_string meta_text)
+    in
+    let* experiment, tasks = validate_meta meta in
+    let seen = Hashtbl.create 16 in
+    let rec go i = function
+      | [] -> Ok ()
+      | line :: rest ->
+        let at msg = Error (Printf.sprintf "row %d: %s" i msg) in
+        let* json =
+          match Json.of_string line with
+          | Ok j -> Ok j
+          | Error e -> at e
+        in
+        let* task =
+          match validate_row ~experiment json with
+          | Ok t -> Ok t
+          | Error e -> at e
+        in
+        let* () =
+          if Hashtbl.mem seen task then
+            at (Printf.sprintf "duplicate task key %S" task)
+          else Ok ()
+        in
+        Hashtbl.add seen task ();
+        go (i + 1) rest
+    in
+    let* () = go 1 rows in
+    let nrows = List.length rows in
+    let* () =
+      check (nrows = tasks)
+        (Printf.sprintf "meta declares %d tasks but the stream has %d rows"
+           tasks nrows)
+    in
+    Ok nrows
+
+let validate_file path =
+  match In_channel.with_open_text path In_channel.input_lines with
+  | lines -> validate_lines (List.filter (fun l -> String.length l > 0) lines)
+  | exception Sys_error e -> Error e

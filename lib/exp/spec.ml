@@ -1,0 +1,41 @@
+module Json = Atp_obs.Json
+
+type task = { key : string; run : Atp_obs.Registry.t -> Json.t }
+
+type t = {
+  name : string;
+  params : (string * Json.t) list;
+  tasks : task list;
+}
+
+let valid_key k =
+  String.length k > 0
+  && String.for_all
+       (fun c ->
+         match c with
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' | '/' | '=' ->
+           true
+         | _ -> false)
+       k
+
+let task ~key run =
+  if not (valid_key key) then
+    invalid_arg
+      (Printf.sprintf
+         "Exp.Spec.task: invalid key %S (want [A-Za-z0-9._/=-]+)" key);
+  { key; run }
+
+let v ?(params = []) ~name tasks =
+  if not (valid_key name) then
+    invalid_arg
+      (Printf.sprintf
+         "Exp.Spec.v: invalid experiment name %S (want [A-Za-z0-9._/=-]+)"
+         name);
+  let seen = Hashtbl.create (List.length tasks) in
+  List.iter
+    (fun t ->
+      if Hashtbl.mem seen t.key then
+        invalid_arg (Printf.sprintf "Exp.Spec.v: duplicate task key %S" t.key);
+      Hashtbl.add seen t.key ())
+    tasks;
+  { name; params; tasks }

@@ -1,0 +1,31 @@
+(** Declarative experiment specifications.
+
+    An experiment is a named set of independent tasks — one per
+    simulator configuration in a sweep, say — plus the parameters the
+    whole sweep shares.  Each task receives a {e private}
+    {!Atp_obs.Registry.t}: tasks run concurrently on separate domains,
+    so sharing one registry would race metric registration, and a
+    per-task registry makes the task's obs snapshot attributable.  The
+    returned JSON object is the task's measurement row ([data] in the
+    emitted schema; see docs in EXPERIMENTS.md). *)
+
+module Json = Atp_obs.Json
+
+type task = private { key : string; run : Atp_obs.Registry.t -> Json.t }
+
+type t = private {
+  name : string;
+  params : (string * Json.t) list;
+  tasks : task list;
+}
+
+val task : key:string -> (Atp_obs.Registry.t -> Json.t) -> task
+(** @raise Invalid_argument if [key] is empty or contains characters
+    outside [[A-Za-z0-9._/=-]] — keys name checkpoint rows and must
+    stay greppable and newline-free. *)
+
+val v : ?params:(string * Json.t) list -> name:string -> task list -> t
+(** @raise Invalid_argument on an invalid experiment name (same
+    alphabet as task keys: it becomes the [BENCH_<name>.json] file
+    name) or on duplicate task keys — resume matches checkpointed rows
+    to tasks by key, so keys must be unique. *)

@@ -31,13 +31,15 @@ let reset t =
 
 let to_json t =
   let n = count t in
-  let float_or_null f = if n = 0 then Json.Null else Json.Float f in
+  (* Summary.min/max reject the empty case; keep the JSON shape stable
+     with explicit nulls instead. *)
+  let float_or_null f = if n = 0 then Json.Null else Json.Float (f t.summary) in
   Json.Obj
     [
       ("count", Json.Int n);
       ("mean", Json.Float (mean t));
-      ("min", float_or_null (Stats.Summary.min t.summary));
-      ("max", float_or_null (Stats.Summary.max t.summary));
+      ("min", float_or_null Stats.Summary.min);
+      ("max", float_or_null Stats.Summary.max);
       ("p50", Json.Int (percentile t 0.50));
       ("p99", Json.Int (percentile t 0.99));
     ]

@@ -19,3 +19,36 @@ val to_buffer : Buffer.t -> t -> unit
 val to_string : t -> string
 
 val to_channel : out_channel -> t -> unit
+
+val equal : t -> t -> bool
+(** Structural equality.  Field order in objects is significant (the
+    serializer is deterministic, so equal values serialize equally). *)
+
+val of_string : string -> (t, string) result
+(** Parse one JSON value (with optional surrounding whitespace) from
+    the whole string.  Number literals without [.]/[e] parse as {!Int},
+    others as {!Float} — the inverse of the serializer's convention.
+    Errors (with an offset) are returned, never raised: callers such
+    as checkpoint loading must survive the torn trailing line a killed
+    run leaves behind. *)
+
+(** {1 Accessors}
+
+    Shape-checked projections, [None] on a mismatch — enough for
+    consumers of metric snapshots and benchmark row streams to read
+    fields without pattern-matching boilerplate. *)
+
+val member : string -> t -> t option
+(** [member key (Obj fields)] is the first binding of [key];
+    [None] on non-objects. *)
+
+val as_int : t -> int option
+
+val as_float : t -> float option
+(** Accepts both {!Float} and {!Int} (promoted). *)
+
+val as_string : t -> string option
+
+val as_list : t -> t list option
+
+val as_obj : t -> (string * t) list option

@@ -1,41 +1,64 @@
 let recommended_domains () = max 1 (Domain.recommended_domain_count ())
 
+let check_domains = function
+  | Some d when d < 1 -> invalid_arg "Parallel.map: need at least one domain"
+  | Some d -> Some d
+  | None -> None
+
+(* Work-stealing skeleton shared by [map_array] and [map_results]:
+   [n] items, one atomic next-index counter, [workers] domains (the
+   caller's domain included) each running [body] until either the
+   items run out or [stop] flips.  [body i] must not raise. *)
+let drive ~n ~workers ~stop body =
+  let next = Atomic.make 0 in
+  let worker () =
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n && not (stop ()) then begin
+        body i;
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let spawned = Array.init (workers - 1) (fun _ -> Domain.spawn worker) in
+  worker ();
+  Array.iter Domain.join spawned
+
+let worker_count ~domains n =
+  let wanted =
+    match check_domains domains with
+    | Some d -> d
+    | None -> recommended_domains ()
+  in
+  min wanted n
+
 let map_array ?domains f input =
   let n = Array.length input in
-  if n = 0 then [||]
+  if n = 0 then begin
+    ignore (check_domains domains);
+    [||]
+  end
   else begin
-    let wanted =
-      match domains with
-      | Some d ->
-        if d < 1 then invalid_arg "Parallel.map: need at least one domain";
-        d
-      | None -> recommended_domains ()
-    in
-    let workers = min wanted n in
+    let workers = worker_count ~domains n in
     if workers = 1 then Array.map f input
     else begin
       let results = Array.make n None in
-      let next = Atomic.make 0 in
       let failure = Atomic.make None in
-      let worker () =
-        let rec loop () =
-          let i = Atomic.fetch_and_add next 1 in
-          if i < n && Option.is_none (Atomic.get failure) then begin
-            (match f input.(i) with
-             | result -> results.(i) <- Some result
-             | exception e ->
-               (* Keep the first failure; losing later ones is fine. *)
-               ignore (Atomic.compare_and_set failure None (Some e)));
-            loop ()
-          end
-        in
-        loop ()
-      in
-      let spawned = Array.init (workers - 1) (fun _ -> Domain.spawn worker) in
-      worker ();
-      Array.iter Domain.join spawned;
+      drive ~n ~workers
+        ~stop:(fun () -> Option.is_some (Atomic.get failure))
+        (fun i ->
+          match f input.(i) with
+          | result -> results.(i) <- Some result
+          | exception e ->
+            (* Capture the backtrace in the failing domain, at the
+               catch site: re-raising in the joining domain would
+               otherwise report the join point, not the task. *)
+            let bt = Printexc.get_raw_backtrace () in
+            (* Keep the first failure; losing later ones is fine. *)
+            ignore (Atomic.compare_and_set failure None (Some (e, bt))));
       (match Atomic.get failure with
-       | Some e -> raise e
+       | Some (e, bt) -> Printexc.raise_with_backtrace e bt
        | None -> ());
       Array.map
         (function
@@ -47,3 +70,33 @@ let map_array ?domains f input =
 
 let map ?domains f xs =
   Array.to_list (map_array ?domains f (Array.of_list xs))
+
+let map_results_array ?domains f input =
+  let n = Array.length input in
+  if n = 0 then begin
+    ignore (check_domains domains);
+    [||]
+  end
+  else begin
+    let run i =
+      match f input.(i) with
+      | result -> Ok result
+      | exception e -> Error (e, Printexc.get_raw_backtrace ())
+    in
+    let workers = worker_count ~domains n in
+    if workers = 1 then Array.init n run
+    else begin
+      let results = Array.make n None in
+      drive ~n ~workers
+        ~stop:(fun () -> false)
+        (fun i -> results.(i) <- Some (run i));
+      Array.map
+        (function
+          | Some r -> r
+          | None -> assert false)
+        results
+    end
+  end
+
+let map_results ?domains f xs =
+  Array.to_list (map_results_array ?domains f (Array.of_list xs))

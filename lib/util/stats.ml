@@ -27,13 +27,22 @@ module Summary = struct
 
   let stddev t = sqrt (variance t)
 
-  let min t = t.min
+  let min t =
+    if t.count = 0 then invalid_arg "Summary.min: empty summary";
+    t.min
 
-  let max t = t.max
+  let max t =
+    if t.count = 0 then invalid_arg "Summary.max: empty summary";
+    t.max
 
   let pp ppf t =
-    Format.fprintf ppf "n=%d mean=%.4g sd=%.4g min=%.4g max=%.4g"
-      t.count (mean t) (stddev t) t.min t.max
+    (* An empty summary holds the infinity/neg_infinity fill sentinels;
+       printing them as min/max would leak "min=inf max=-inf" into
+       metric reports. *)
+    if t.count = 0 then Format.fprintf ppf "n=0"
+    else
+      Format.fprintf ppf "n=%d mean=%.4g sd=%.4g min=%.4g max=%.4g"
+        t.count (mean t) (stddev t) t.min t.max
 end
 
 module Log_histogram = struct

@@ -22,12 +22,16 @@ module Summary : sig
   val stddev : t -> float
 
   val min : t -> float
-  (** [infinity] when empty. *)
+  (** @raise Invalid_argument when the summary is empty: the fresh
+      [infinity] fill sentinel is not an observation and must not leak
+      into metrics output. *)
 
   val max : t -> float
-  (** [neg_infinity] when empty. *)
+  (** @raise Invalid_argument when the summary is empty (the
+      [neg_infinity] sentinel, as for {!min}). *)
 
   val pp : Format.formatter -> t -> unit
+  (** Empty summaries print as ["n=0"], without min/max. *)
 end
 
 (** Power-of-two histogram over non-negative integers: bucket [i]

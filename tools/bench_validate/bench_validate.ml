@@ -1,0 +1,25 @@
+(* bench_validate: check BENCH_<experiment>.json row streams against
+   the atp.bench/1 schema (see lib/exp/schema.mli and EXPERIMENTS.md).
+
+     bench_validate FILE...
+
+   Exits 0 when every file validates, 1 otherwise, printing one line
+   per file either way.  CI runs this over the artifacts a quick-mode
+   bench sweep produces. *)
+
+let () =
+  let files = List.tl (Array.to_list Sys.argv) in
+  if files = [] then begin
+    prerr_endline "usage: bench_validate FILE...";
+    exit 2
+  end;
+  let failed = ref false in
+  List.iter
+    (fun path ->
+      match Atp_exp.Schema.validate_file path with
+      | Ok rows -> Printf.printf "%s: OK (%d rows)\n" path rows
+      | Error msg ->
+        Printf.printf "%s: INVALID: %s\n" path msg;
+        failed := true)
+    files;
+  if !failed then exit 1
