@@ -7,7 +7,7 @@
 
    Experiments: fig1a fig1b fig1c decoupling ballsbins failures hybrid
    eps vmm thp smp mrc coalesced multiprog hpcfigs competitive iceberg
-   micro.
+   engine micro.
 
    Every experiment runs on the Atp_exp runner: tasks execute in
    parallel with per-task outcomes (a raising task becomes an error
@@ -1596,6 +1596,123 @@ let micro () =
     outcomes
 
 (* ------------------------------------------------------------------ *)
+(* engine: sharded streaming replay vs exact sequential replay         *)
+(* ------------------------------------------------------------------ *)
+
+(* The scaling experiment behind atp.engine: pack a Kronecker BFS
+   trace into the streamed format, replay it once sequentially for
+   ground truth, then replay it sharded at increasing shard counts.
+   Rows carry the totals, the relative cost error versus sequential
+   (the documented bound), and the wall-clock speedup; CI validates
+   the stream with tools/bench_validate and keeps it as an artifact. *)
+let engine_exp () =
+  header "engine: sharded streaming replay vs exact sequential replay";
+  let module Engine = Atp_engine.Engine in
+  let n = scale_down 2_000_000 in
+  let epoch_len = max 1 (n / 16) in
+  (* The workload footprint must exceed the cache capacities below so
+     the replay has steady-state miss traffic and a warm-up window one
+     epoch long can fill both caches (the adequacy condition from
+     lib/engine/engine.mli); otherwise the relative error is dominated
+     by cold-cache re-faulting of a tiny baseline.  This is the regime
+     test/test_engine.ml measures the documented bound under. *)
+  let virtual_pages = 1 lsl 16 in
+  let path = Filename.temp_file "atp_bench_engine" ".atps" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let wl = Simple.zipf ~virtual_pages (Prng.create ~seed:31 ()) in
+      Trace.Stream.with_writer path (fun w ->
+          for _ = 1 to n do
+            Trace.Stream.push w (wl.Workload.next ())
+          done);
+      let ram = 1 lsl 11 in
+      let params = Params.derive ~p:ram ~w:64 () in
+      let make_sim () =
+        let x =
+          Policy.instantiate (module Lru)
+            ~rng:(Prng.create ~seed:11 ())
+            ~capacity:64 ()
+        in
+        let y =
+          Policy.instantiate (module Lru)
+            ~rng:(Prng.create ~seed:13 ())
+            ~capacity:256 ()
+        in
+        Simulation.create ~seed:7 ~params ~x ~y ()
+      in
+      let seq_t0 = Unix.gettimeofday () in
+      let baseline =
+        Engine.replay_sequential ~make_sim (Trace.Stream.source path)
+      in
+      let seq_wall = Unix.gettimeofday () -. seq_t0 in
+      let base_cost = Engine.cost ~epsilon baseline in
+      let row (t : Engine.totals) ~wall =
+        let cost = Engine.cost ~epsilon t in
+        let rel_err =
+          if base_cost = 0. then 0. else abs_float (cost -. base_cost) /. base_cost
+        in
+        Json.Obj
+          [
+            ("ios", Json.Int t.Engine.ios);
+            ("tlb_misses", Json.Int t.Engine.tlb_fills);
+            ("decoding_misses", Json.Int t.Engine.decoding_misses);
+            ("cost", Json.Float cost);
+            ("rel_err", Json.Float rel_err);
+            ("epochs", Json.Int t.Engine.epochs);
+            ("warmup_discarded", Json.Int t.Engine.warmup_replayed);
+            ("wall", Json.Float wall);
+            ("speedup", Json.Float (if wall > 0. then seq_wall /. wall else 0.));
+          ]
+      in
+      let seq_task =
+        Spec.task ~key:"sequential" (fun _reg -> row baseline ~wall:seq_wall)
+      in
+      let sharded_task shards =
+        Spec.task ~key:(Printf.sprintf "shards=%d" shards) (fun reg ->
+            let t0 = Unix.gettimeofday () in
+            let totals =
+              Engine.replay
+                ~obs:(Obs.Scope.v ~prefix:"engine" reg)
+                ~clock:Unix.gettimeofday
+                ~config:
+                  { Engine.shards; epoch_len; warmup = epoch_len; domains = None }
+                ~make_sim
+                (Trace.Stream.source path)
+            in
+            row totals ~wall:(Unix.gettimeofday () -. t0))
+      in
+      let outcomes =
+        run_spec
+          (spec ~name:"engine"
+             ~params:
+               [
+                 ("n", Json.Int n);
+                 ("epoch_len", Json.Int epoch_len);
+                 ("virtual_pages", Json.Int virtual_pages);
+                 ("ram", Json.Int ram);
+                 ("error_bound", Json.Float Engine.documented_error_bound);
+               ]
+             (seq_task :: List.map sharded_task [ 1; 2; 4; 8 ]))
+      in
+      Report.print_table
+        ~columns:
+          [
+            Report.col_int ~field:"ios" "IOs";
+            Report.col_int ~field:"tlb_misses" "TLB misses";
+            Report.col_float ~decimals:1 ~field:"cost" "cost(e=0.01)";
+            Report.col_float ~decimals:4 ~field:"rel_err" "rel err";
+            Report.col_int ~field:"epochs" "epochs";
+            Report.col_float ~decimals:2 ~field:"wall" "wall (s)";
+            Report.col_float ~decimals:2 ~field:"speedup" "speedup";
+          ]
+        outcomes;
+      Printf.printf
+        "\nsharded totals must stay within %.0f%% of sequential cost \
+         (documented bound; exact when warm-up covers each epoch prefix).\n"
+        (100. *. Engine.documented_error_bound))
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -1616,6 +1733,7 @@ let experiments =
     ("hpcfigs", hpcfigs);
     ("competitive", competitive);
     ("iceberg", iceberg);
+    ("engine", engine_exp);
     ("micro", micro);
   ]
 

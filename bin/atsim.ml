@@ -6,7 +6,7 @@
      atsim decoupled — run the combined algorithm Z on a workload
      atsim policies  — compare paging policies on a workload
      atsim ballsbins — compare balls-and-bins strategies
-     atsim trace     — generate a trace file
+     atsim trace     — generate / pack / cat / inspect trace files
 
    Every command is deterministic given --seed. *)
 
@@ -337,41 +337,130 @@ let sweep_cmd =
 (* decoupled                                                           *)
 (* ------------------------------------------------------------------ *)
 
+module Engine = Atp_engine.Engine
+
+let shards_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "shards" ] ~docv:"N"
+        ~doc:
+          "Replay through the sharded engine with $(docv) epochs in flight \
+           (engine mode; 1 plus no $(b,--stream) keeps the exact sequential \
+           in-memory path).")
+
+let epoch_arg =
+  Arg.(
+    value & opt int 262_144
+    & info [ "epoch" ] ~docv:"LEN"
+        ~doc:"Engine mode: references per epoch time-slice.")
+
+let shard_warmup_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "shard-warmup" ] ~docv:"N"
+        ~doc:
+          "Engine mode: warm-up references replayed (then discarded) before \
+           each epoch; defaults to one epoch.  Replaces $(b,--warmup), which \
+           engine mode ignores.")
+
+let stream_arg =
+  Arg.(
+    value & flag
+    & info [ "stream" ]
+        ~doc:
+          "Engine mode: never materialize the trace — pull references \
+           chunk-by-chunk from a packed $(b,--trace-file) (see $(b,atsim \
+           trace pack)) or straight from the synthetic generator, so peak \
+           memory is bounded by shards x (epoch + warm-up).")
+
 let decoupled_cmd =
   let run workload vpages ram tlb epsilon accesses warmup seed w scheme xp yp
-      metrics trace_out trace_capacity =
+      trace_file shards epoch shard_warmup stream metrics trace_out
+      trace_capacity =
     let reg = mk_registry ~trace_out ~trace_capacity in
     let params = Params.derive ~scheme:(scheme_of scheme) ~p:ram ~w () in
     Format.printf "%a@.@." Params.pp params;
-    let wl = mk_workload workload ~vpages ~seed in
-    let warmup_trace = Workload.generate wl warmup in
-    let trace = Workload.generate wl accesses in
-    let rng = Prng.create ~seed:(seed + 1) () in
-    let x =
-      Policy.instantiate (Registry.find_exn xp) ~rng:(Prng.split rng)
-        ~capacity:tlb ()
+    let make_sim ?obs () =
+      (* Deterministic from [seed] alone, so engine worker domains can
+         call it concurrently and build identical simulators. *)
+      let rng = Prng.create ~seed:(seed + 1) () in
+      let x =
+        Policy.instantiate (Registry.find_exn xp) ~rng:(Prng.split rng)
+          ~capacity:tlb ()
+      in
+      let y =
+        Policy.instantiate (Registry.find_exn yp) ~rng:(Prng.split rng)
+          ~capacity:(Params.usable_pages params) ()
+      in
+      Simulation.create ~seed ?obs ~params ~x ~y ()
     in
-    let y =
-      Policy.instantiate (Registry.find_exn yp) ~rng:(Prng.split rng)
-        ~capacity:(Params.usable_pages params) ()
-    in
-    let z =
-      Simulation.create ~seed ~obs:(Obs.Scope.v ~prefix:"sim" reg) ~params ~x
-        ~y ()
-    in
-    let r = Simulation.run ~warmup:warmup_trace z trace in
-    Format.printf "%a@." Simulation.pp_report r;
-    Format.printf "C(Z) = %.2f   C_TLB(X) = %.2f   C_IO(Y) = %.2f@."
-      (Simulation.cost ~epsilon r)
-      (Simulation.c_tlb ~epsilon r)
-      (Simulation.c_io r);
+    if shards > 1 || stream then begin
+      let source =
+        match trace_file with
+        | Some path when stream -> (
+          match Trace.format_of_file path with
+          | Trace.Streamed -> Trace.Stream.source path
+          | Trace.Text | Trace.Binary ->
+            Engine.source_of_array (Trace.load path))
+        | Some path -> Engine.source_of_array (Trace.load path)
+        | None ->
+          let wl = mk_synthetic_workload workload ~vpages ~seed in
+          Engine.source_of_workload wl ~n:accesses
+      in
+      let config =
+        {
+          Engine.shards;
+          epoch_len = epoch;
+          warmup = Option.value shard_warmup ~default:epoch;
+          domains = None;
+        }
+      in
+      let totals =
+        Engine.replay
+          ~obs:(Obs.Scope.v ~prefix:"engine" reg)
+          ~clock:Unix.gettimeofday ~config
+          ~make_sim:(fun () -> make_sim ())
+          source
+      in
+      Format.printf "%a@." Engine.pp_totals totals;
+      (* Honest accuracy label: exact when the warm-up window covered
+         every epoch's whole stream prefix; the documented bound only
+         applies under the adequacy condition (warm-up can fill the
+         caches — see EXPERIMENTS.md B2), which we cannot check here. *)
+      let exact =
+        totals.Engine.epochs <= 1
+        || config.Engine.warmup >= (totals.Engine.epochs - 1) * epoch
+      in
+      Format.printf "C(Z) = %.2f (epsilon=%g, %s)@."
+        (Engine.cost ~epsilon totals)
+        epsilon
+        (if exact then "exact: warm-up covered every epoch prefix"
+         else
+           Printf.sprintf
+             "approximate: within %.0f%% of sequential under the adequacy \
+              condition, see EXPERIMENTS.md B2"
+             (100. *. Engine.documented_error_bound))
+    end
+    else begin
+      let wl = mk_workload ?trace_file workload ~vpages ~seed in
+      let warmup_trace = Workload.generate wl warmup in
+      let trace = Workload.generate wl accesses in
+      let z = make_sim ~obs:(Obs.Scope.v ~prefix:"sim" reg) () in
+      let r = Simulation.run ~warmup:warmup_trace z trace in
+      Format.printf "%a@." Simulation.pp_report r;
+      Format.printf "C(Z) = %.2f   C_TLB(X) = %.2f   C_IO(Y) = %.2f@."
+        (Simulation.cost ~epsilon r)
+        (Simulation.c_tlb ~epsilon r)
+        (Simulation.c_io r)
+    end;
     export_obs reg ~metrics ~trace_out
   in
   Cmd.v
     (Cmd.info "decoupled"
        ~doc:
          "Run the combined memory-management algorithm Z (Theorem 4) on a \
-          workload.")
+          workload, sequentially or through the sharded streaming engine.")
     Term.(
       const run $ workload_arg $ vpages_arg $ ram_arg $ tlb_arg $ epsilon_arg
       $ accesses_arg $ warmup_arg $ seed_arg $ w_arg $ scheme_arg
@@ -379,6 +468,7 @@ let decoupled_cmd =
           ~doc:"TLB-replacement policy (X)."
       $ policy_arg ~name:"y-policy" ~default:"lru"
           ~doc:"RAM-replacement policy (Y)."
+      $ trace_file_arg $ shards_arg $ epoch_arg $ shard_warmup_arg $ stream_arg
       $ metrics_arg $ trace_out_arg $ trace_capacity_arg)
 
 (* ------------------------------------------------------------------ *)
@@ -463,23 +553,144 @@ let ballsbins_cmd =
 (* trace                                                               *)
 (* ------------------------------------------------------------------ *)
 
-let trace_cmd =
-  let run workload vpages accesses seed out binary =
-    let wl = mk_workload workload ~vpages ~seed in
-    let trace = Workload.generate wl accesses in
-    if binary then Trace.save_binary out trace else Trace.save_text out trace;
-    let s = Trace.summarize trace in
-    Format.printf "wrote %s: %a@." out Trace.pp_summary s
+let chunk_arg =
+  Arg.(
+    value
+    & opt int Trace.Stream.default_chunk_size
+    & info [ "chunk" ] ~docv:"N"
+        ~doc:"References per chunk of the streamed (ATPS) format.")
+
+let pp_stream_header ppf (h : Trace.Stream.header) =
+  Format.fprintf ppf "format=streamed version=%d chunk_size=%d length=%d"
+    h.Trace.Stream.version h.Trace.Stream.chunk_size h.Trace.Stream.length
+
+let trace_gen_cmd =
+  let run workload vpages accesses seed out binary stream chunk =
+    let wl = mk_synthetic_workload workload ~vpages ~seed in
+    if stream then begin
+      (* Straight from the generator into the chunked writer: the
+         trace is never resident, so --accesses can exceed RAM. *)
+      Trace.Stream.with_writer ~chunk_size:chunk out (fun w ->
+          for _ = 1 to accesses do
+            Trace.Stream.push w (wl.Workload.next ())
+          done);
+      Format.printf "wrote %s: %a@." out pp_stream_header
+        (Trace.Stream.with_reader out Trace.Stream.header)
+    end
+    else begin
+      let trace = Workload.generate wl accesses in
+      if binary then Trace.save_binary out trace else Trace.save_text out trace;
+      Format.printf "wrote %s: %a@." out Trace.pp_summary
+        (Trace.summarize trace)
+    end
   in
   Cmd.v
-    (Cmd.info "trace" ~doc:"Generate a page-reference trace file.")
+    (Cmd.info "gen" ~doc:"Generate a page-reference trace file.")
     Term.(
       const run $ workload_arg $ vpages_arg $ accesses_arg $ seed_arg
       $ Arg.(
           required
           & opt (some string) None
           & info [ "out"; "o" ] ~docv:"PATH" ~doc:"Output path.")
-      $ Arg.(value & flag & info [ "binary" ] ~doc:"Binary format (default text)."))
+      $ Arg.(
+          value & flag & info [ "binary" ] ~doc:"Binary format (default text).")
+      $ Arg.(
+          value & flag
+          & info [ "stream" ]
+              ~doc:"Streamed chunked format, written without materializing.")
+      $ chunk_arg)
+
+let src_pos_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"SRC" ~doc:"Input trace file (any format).")
+
+let trace_pack_cmd =
+  let run src dst chunk =
+    Trace.pack ~chunk_size:chunk ~src ~dst ();
+    Format.printf "packed %s -> %s: %a@." src dst pp_stream_header
+      (Trace.Stream.with_reader dst Trace.Stream.header)
+  in
+  Cmd.v
+    (Cmd.info "pack"
+       ~doc:
+         "Convert a trace (text, binary, or streamed) into the streamed \
+          chunked format, one chunk resident at a time.")
+    Term.(
+      const run $ src_pos_arg
+      $ Arg.(
+          required
+          & pos 1 (some string) None
+          & info [] ~docv:"DST" ~doc:"Output path (ATPS).")
+      $ chunk_arg)
+
+let trace_cat_cmd =
+  let run src limit =
+    let printed = ref 0 in
+    let emit page =
+      if Option.fold ~none:true ~some:(fun l -> !printed < l) limit then begin
+        print_string (string_of_int page);
+        print_char '\n';
+        incr printed
+      end
+    in
+    (match Trace.format_of_file src with
+    | Trace.Streamed -> Trace.Stream.iter emit src
+    | Trace.Text | Trace.Binary -> Array.iter emit (Trace.load src));
+    flush stdout
+  in
+  Cmd.v
+    (Cmd.info "cat"
+       ~doc:
+         "Print a trace as text, one reference per line (streamed inputs are \
+          decoded chunk by chunk).")
+    Term.(
+      const run $ src_pos_arg
+      $ Arg.(
+          value
+          & opt (some int) None
+          & info [ "limit" ] ~docv:"N" ~doc:"Stop after $(docv) references."))
+
+let trace_info_cmd =
+  let run src hex =
+    (match Trace.format_of_file src with
+    | Trace.Streamed ->
+      Format.printf "%a@." pp_stream_header
+        (Trace.Stream.with_reader src Trace.Stream.header)
+    | (Trace.Text | Trace.Binary) as f ->
+      Format.printf "format=%a %a@." Trace.pp_format f Trace.pp_summary
+        (Trace.summarize (Trace.load src)));
+    if hex > 0 then begin
+      let ic = open_in_bin src in
+      let n = min hex (in_channel_length ic) in
+      let bytes = really_input_string ic n in
+      close_in ic;
+      String.iteri
+        (fun i c ->
+          if i mod 16 = 0 then Format.printf "%08x " i;
+          Format.printf " %02x" (Char.code c);
+          if i mod 16 = 15 || i = n - 1 then Format.printf "@.")
+        bytes
+    end
+  in
+  Cmd.v
+    (Cmd.info "info"
+       ~doc:
+         "Print a trace file's format and header, optionally with a hex dump \
+          of its first bytes (golden tests pin the on-disk format with it).")
+    Term.(
+      const run $ src_pos_arg
+      $ Arg.(
+          value & opt int 0
+          & info [ "hex" ] ~docv:"BYTES"
+              ~doc:"Also hex-dump the first $(docv) bytes of the file."))
+
+let trace_cmd =
+  Cmd.group
+    (Cmd.info "trace"
+       ~doc:"Generate, pack, print, and inspect page-reference trace files.")
+    [ trace_gen_cmd; trace_pack_cmd; trace_cat_cmd; trace_info_cmd ]
 
 (* ------------------------------------------------------------------ *)
 (* mrc                                                                 *)

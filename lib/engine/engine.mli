@@ -1,0 +1,122 @@
+(** The sharded streaming replay engine ([atp.engine]).
+
+    Sequential replay ({!Atp_core.Simulation.run}) walks a
+    fully-materialized trace on one core; production-scale traces
+    (billions of references) fit neither RAM nor patience.  This
+    engine consumes a {e pull stream} of references, time-slices it
+    into epochs of [epoch_len] references, replays each epoch on a
+    fresh simulator prefixed with the [warmup] references that
+    precede it in the stream (counters reset after warm-up, exactly
+    like {!Atp_core.Simulation.run}'s warm-up), and merges the
+    per-epoch reports in stream order.  Epochs are replayed up to
+    [shards] at a time on separate domains via
+    {!Atp_util.Parallel.map}; on OCaml < 5 the same code runs
+    sequentially with identical results, because the merge order is
+    the stream order, never the scheduling order.
+
+    Peak memory is [shards * (epoch_len + warmup)] references plus one
+    decode chunk — independent of the trace length.
+
+    {2 Exactness and the error model}
+
+    Epoch [e] starts at stream index [s = e * epoch_len].  Its replay
+    is {e exact} — each counter equals the sequential run's increment
+    over the same window — whenever [warmup >= s]: the warm-up window
+    then covers the whole prefix, so the fresh simulator reaches the
+    very state the sequential simulator had at index [s].  In
+    particular, with [warmup >= epoch_len] every two-epoch replay is
+    exact, and [warmup >= n] makes any replay exact (at quadratic
+    replay cost).
+
+    When [warmup < s] the warm-up under-approximates resident state:
+    each such epoch can only {e over-count} misses of an
+    LRU-style stack policy (cold state has fewer resident pages), by
+    at most the policy capacity per epoch.  The measured bound — see
+    EXPERIMENTS.md "Sharded replay error" — is well under
+    {!documented_error_bound} relative cost error for every workload
+    in the test matrix with [warmup = epoch_len]; the differential
+    suite ([test/test_engine.ml]) enforces it. *)
+
+type config = {
+  shards : int;  (** epochs replayed concurrently (>= 1) *)
+  epoch_len : int;  (** references per epoch (>= 1) *)
+  warmup : int;
+      (** references re-executed (then discarded from counts) before
+          each epoch; clipped to the available prefix (>= 0) *)
+  domains : int option;
+      (** cap for {!Atp_util.Parallel.map}; [None] = recommended *)
+}
+
+val default_config : config
+(** 4 shards, 1 Mi-reference epochs, warm-up of one epoch. *)
+
+val documented_error_bound : float
+(** Relative cost error ([|sharded - sequential| / sequential]) that
+    multi-epoch sharded replay stays within on the documented workload
+    matrix with [warmup >= epoch_len]; measured in the [engine] bench
+    experiment and asserted by the differential tests. *)
+
+type totals = {
+  accesses : int;  (** measured accesses (warm-up excluded) *)
+  ios : int;
+  tlb_fills : int;
+  decoding_misses : int;
+  failures : int;  (** paging failures inside measured windows *)
+  max_bucket_load : int;  (** max across epochs *)
+  epochs : int;  (** epochs replayed *)
+  warmup_replayed : int;  (** warm-up references replayed, then discarded *)
+}
+
+val empty_totals : totals
+
+val cost : epsilon:float -> totals -> float
+(** [ios + epsilon * (tlb_fills + decoding_misses)]: the paper's
+    address-translation cost, same accounting as
+    {!Atp_core.Simulation.cost}. *)
+
+val add_report : totals -> Atp_core.Simulation.report -> warmup_len:int -> totals
+(** Fold one epoch's report into the running totals (sum counters, max
+    bucket load, count the epoch). *)
+
+val pp_totals : Format.formatter -> totals -> unit
+
+type source = unit -> int option
+(** A pull stream of page references; [None] ends the replay.
+    {!Atp_workloads.Trace.Stream.source} reads one from a packed
+    trace file. *)
+
+val source_of_array : int array -> source
+
+val source_of_workload : Atp_workloads.Workload.t -> n:int -> source
+(** The workload's next [n] references.
+    @raise Invalid_argument if [n] is negative. *)
+
+val replay :
+  ?obs:Atp_obs.Scope.t ->
+  ?clock:(unit -> float) ->
+  config:config ->
+  make_sim:(unit -> Atp_core.Simulation.t) ->
+  source ->
+  totals
+(** Sharded replay of the stream.  [make_sim] builds a fresh simulator
+    per epoch and is called concurrently from worker domains: it must
+    be deterministic and must not share mutable state across calls
+    (derive any {!Atp_util.Prng.t} from a constant seed inside the
+    closure, not outside).
+
+    [obs] registers the engine counters [epochs],
+    [warmup_discarded], and [merge_ns] (merge time, measured with
+    [clock] when given — seconds, e.g. [Unix.gettimeofday] — and 0
+    otherwise; injectable so library code stays deterministic).
+
+    @raise Invalid_argument on a non-positive [shards]/[epoch_len] or
+    a negative [warmup]. *)
+
+val replay_sequential :
+  ?obs:Atp_obs.Scope.t ->
+  make_sim:(unit -> Atp_core.Simulation.t) ->
+  source ->
+  totals
+(** Exact sequential replay of the same stream on one fresh simulator
+    (one epoch, no warm-up): the reference the differential harness
+    compares {!replay} against. *)

@@ -50,25 +50,40 @@ let save_text path trace =
   with_out path (fun oc ->
       Array.iter (fun page -> Printf.fprintf oc "%d\n" page) trace)
 
-let load_text path =
-  with_in path (fun ic ->
-      let acc = ref [] in
-      let count = ref 0 in
-      (try
-         while true do
-           let line = String.trim (input_line ic) in
-           if line <> "" && line.[0] <> '#' then begin
-             match int_of_string_opt line with
-             | Some page ->
-               acc := page :: !acc;
-               incr count
-             | None -> parse_error path "bad line %S" line
-           end
-         done
-       with End_of_file -> ());
-      let arr = Array.make !count 0 in
-      List.iteri (fun i page -> arr.(!count - 1 - i) <- page) !acc;
-      arr)
+(* A growable flat int buffer: parsing must not build a boxed
+   intermediate list (it used to cost ~4x the trace in peak memory). *)
+module Growbuf = struct
+  type t = { mutable data : int array; mutable len : int }
+
+  let create () = { data = Array.make 1024 0; len = 0 }
+
+  let push t v =
+    if t.len = Array.length t.data then begin
+      let bigger = Array.make (2 * t.len) 0 in
+      Array.blit t.data 0 bigger 0 t.len;
+      t.data <- bigger
+    end;
+    t.data.(t.len) <- v;
+    t.len <- t.len + 1
+
+  let contents t = Array.sub t.data 0 t.len
+end
+
+let load_text_ic path ic =
+  let buf = Growbuf.create () in
+  (try
+     while true do
+       let line = String.trim (input_line ic) in
+       if line <> "" && line.[0] <> '#' then begin
+         match int_of_string_opt line with
+         | Some page -> Growbuf.push buf page
+         | None -> parse_error path "bad line %S" line
+       end
+     done
+   with End_of_file -> ());
+  Growbuf.contents buf
+
+let load_text path = with_in path (fun ic -> load_text_ic path ic)
 
 let magic = "ATPT"
 
@@ -91,6 +106,14 @@ let save_binary path trace =
       write_u64 oc (Array.length trace);
       Array.iter (fun page -> write_u64 oc page) trace)
 
+(* Body of an ATPT file, the magic already consumed. *)
+let load_binary_body path ic =
+  match read_u64 ic with
+  | exception End_of_file -> parse_error path "truncated header"
+  | n ->
+    (try Array.init n (fun _ -> read_u64 ic)
+     with End_of_file -> parse_error path "truncated body")
+
 let load_binary path =
   with_in path (fun ic ->
       let m =
@@ -98,11 +121,342 @@ let load_binary path =
         with End_of_file -> parse_error path "truncated magic"
       in
       if not (String.equal m magic) then parse_error path "bad magic";
-      match read_u64 ic with
-      | exception End_of_file -> parse_error path "truncated header"
-      | n ->
-        (try Array.init n (fun _ -> read_u64 ic)
-         with End_of_file -> parse_error path "truncated body"))
+      load_binary_body path ic)
+
+(* ------------------------------------------------------------------ *)
+(* The streamed chunked format (ATPS)                                  *)
+(* ------------------------------------------------------------------ *)
+
+module Stream = struct
+  let magic = "ATPS"
+
+  let version = 1
+
+  let default_chunk_size = 1 lsl 16
+
+  (* Worst case for one zigzag varint of a 63-bit int. *)
+  let max_varint_bytes = 10
+
+  let length_offset = 4 + (2 * 8)
+
+  type header = { version : int; chunk_size : int; length : int }
+
+  type chunk = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+  let zigzag n = (n lsl 1) lxor (n asr 62)
+
+  let unzigzag u = (u lsr 1) lxor (- (u land 1))
+
+  let put_varint buf pos v =
+    let v = ref v and pos = ref pos in
+    while !v lsr 7 <> 0 do
+      Bytes.unsafe_set buf !pos (Char.unsafe_chr (0x80 lor (!v land 0x7F)));
+      incr pos;
+      v := !v lsr 7
+    done;
+    Bytes.unsafe_set buf !pos (Char.unsafe_chr !v);
+    !pos + 1
+
+  let get_varint path buf pos limit =
+    let v = ref 0 and shift = ref 0 and pos = ref pos and more = ref true in
+    while !more do
+      if !pos >= limit then parse_error path "truncated varint";
+      let b = Char.code (Bytes.unsafe_get buf !pos) in
+      incr pos;
+      v := !v lor ((b land 0x7F) lsl !shift);
+      shift := !shift + 7;
+      more := b land 0x80 <> 0;
+      if !more && !shift >= 63 then parse_error path "varint overflow"
+    done;
+    (!v, !pos)
+
+  (* --- writer ----------------------------------------------------- *)
+
+  type writer = {
+    w_oc : out_channel;
+    w_chunk_size : int;
+    w_pending : chunk;
+    w_enc : Bytes.t;
+    mutable w_fill : int;
+    mutable w_written : int;
+    mutable w_closed : bool;
+  }
+
+  let open_writer ?(chunk_size = default_chunk_size) path =
+    if chunk_size < 1 then
+      invalid_arg "Trace.Stream.open_writer: chunk_size must be positive";
+    let oc = open_out_bin path in
+    output_string oc magic;
+    write_u64 oc version;
+    write_u64 oc chunk_size;
+    write_u64 oc 0;
+    {
+      w_oc = oc;
+      w_chunk_size = chunk_size;
+      w_pending = Bigarray.Array1.create Bigarray.int Bigarray.c_layout chunk_size;
+      w_enc = Bytes.create (chunk_size * max_varint_bytes);
+      w_fill = 0;
+      w_written = 0;
+      w_closed = false;
+    }
+
+  let flush_chunk w =
+    if w.w_fill > 0 then begin
+      let pos = ref 0 and prev = ref 0 in
+      for i = 0 to w.w_fill - 1 do
+        let page = Bigarray.Array1.unsafe_get w.w_pending i in
+        (* First reference absolute, the rest deltas: chunks decode
+           standalone, so a reader can skip or parallelize over them. *)
+        let v = if i = 0 then page else page - !prev in
+        pos := put_varint w.w_enc !pos (zigzag v);
+        prev := page
+      done;
+      write_u64 w.w_oc w.w_fill;
+      write_u64 w.w_oc !pos;
+      output w.w_oc w.w_enc 0 !pos;
+      w.w_written <- w.w_written + w.w_fill;
+      w.w_fill <- 0
+    end
+
+  let push w page =
+    if w.w_closed then invalid_arg "Trace.Stream.push: writer is closed";
+    Bigarray.Array1.unsafe_set w.w_pending w.w_fill page;
+    w.w_fill <- w.w_fill + 1;
+    if w.w_fill = w.w_chunk_size then flush_chunk w
+
+  let close_writer w =
+    if not w.w_closed then begin
+      w.w_closed <- true;
+      flush_chunk w;
+      seek_out w.w_oc length_offset;
+      write_u64 w.w_oc w.w_written;
+      close_out w.w_oc
+    end
+
+  let with_writer ?chunk_size path f =
+    let w = open_writer ?chunk_size path in
+    Fun.protect ~finally:(fun () -> close_writer w) (fun () -> f w)
+
+  (* --- reader ----------------------------------------------------- *)
+
+  type reader = {
+    r_ic : in_channel;
+    r_path : string;
+    r_header : header;
+    r_buf : chunk;
+    r_raw : Bytes.t;
+    mutable r_consumed : int;
+    mutable r_closed : bool;
+  }
+
+  let read_u64_or path what ic =
+    try read_u64 ic with End_of_file -> parse_error path "truncated %s" what
+
+  (* The magic already consumed; parse the rest of the header and hand
+     back a reader owning [ic]. *)
+  let reader_of_channel path ic =
+    let v = read_u64_or path "header" ic in
+    if v <> version then parse_error path "unsupported version %d" v;
+    let chunk_size = read_u64_or path "header" ic in
+    if chunk_size < 1 then parse_error path "bad chunk_size %d" chunk_size;
+    if chunk_size > 1 lsl 28 then
+      parse_error path "unreasonable chunk_size %d" chunk_size;
+    let length = read_u64_or path "header" ic in
+    if length < 0 then parse_error path "bad length %d" length;
+    {
+      r_ic = ic;
+      r_path = path;
+      r_header = { version = v; chunk_size; length };
+      r_buf = Bigarray.Array1.create Bigarray.int Bigarray.c_layout chunk_size;
+      r_raw = Bytes.create (chunk_size * max_varint_bytes);
+      r_consumed = 0;
+      r_closed = false;
+    }
+
+  let open_reader path =
+    let ic = open_in_bin path in
+    match
+      let m =
+        try really_input_string ic 4
+        with End_of_file -> parse_error path "truncated magic"
+      in
+      if not (String.equal m magic) then parse_error path "bad magic %S" m;
+      reader_of_channel path ic
+    with
+    | r -> r
+    | exception e ->
+      close_in_noerr ic;
+      raise e
+
+  let header r = r.r_header
+
+  let close_reader r =
+    if not r.r_closed then begin
+      r.r_closed <- true;
+      close_in r.r_ic
+    end
+
+  let next_chunk r =
+    if r.r_closed || r.r_consumed >= r.r_header.length then None
+    else begin
+      let path = r.r_path in
+      let n = read_u64_or path "chunk header" r.r_ic in
+      let nbytes = read_u64_or path "chunk header" r.r_ic in
+      if n < 1 || n > r.r_header.chunk_size then
+        parse_error path "bad chunk count %d" n;
+      if r.r_consumed + n > r.r_header.length then
+        parse_error path "chunk overruns declared length";
+      if nbytes < n || nbytes > n * max_varint_bytes then
+        parse_error path "bad chunk payload size %d" nbytes;
+      (try really_input r.r_ic r.r_raw 0 nbytes
+       with End_of_file -> parse_error path "truncated chunk payload");
+      let pos = ref 0 and prev = ref 0 in
+      for i = 0 to n - 1 do
+        let v, p = get_varint path r.r_raw !pos nbytes in
+        pos := p;
+        let d = unzigzag v in
+        let page = if i = 0 then d else !prev + d in
+        Bigarray.Array1.unsafe_set r.r_buf i page;
+        prev := page
+      done;
+      if !pos <> nbytes then parse_error path "chunk payload size mismatch";
+      r.r_consumed <- r.r_consumed + n;
+      Some (Bigarray.Array1.sub r.r_buf 0 n)
+    end
+
+  let with_reader path f =
+    let r = open_reader path in
+    Fun.protect ~finally:(fun () -> close_reader r) (fun () -> f r)
+
+  let iter f path =
+    with_reader path (fun r ->
+        let rec go () =
+          match next_chunk r with
+          | None -> ()
+          | Some c ->
+            for i = 0 to Bigarray.Array1.dim c - 1 do
+              f (Bigarray.Array1.unsafe_get c i)
+            done;
+            go ()
+        in
+        go ())
+
+  let source path =
+    let r = open_reader path in
+    let cur = ref None and idx = ref 0 in
+    let rec next () =
+      match !cur with
+      | Some c when !idx < Bigarray.Array1.dim c ->
+        let v = Bigarray.Array1.unsafe_get c !idx in
+        incr idx;
+        Some v
+      | _ -> (
+        match next_chunk r with
+        | None ->
+          close_reader r;
+          None
+        | Some c ->
+          cur := Some c;
+          idx := 0;
+          next ())
+    in
+    next
+
+  let to_array_of_reader r =
+    let buf = Growbuf.create () in
+    let rec go () =
+      match next_chunk r with
+      | None -> ()
+      | Some c ->
+        for i = 0 to Bigarray.Array1.dim c - 1 do
+          Growbuf.push buf (Bigarray.Array1.unsafe_get c i)
+        done;
+        go ()
+    in
+    go ();
+    let arr = Growbuf.contents buf in
+    if Array.length arr <> r.r_header.length then
+      parse_error r.r_path "file holds %d refs, header declares %d"
+        (Array.length arr) r.r_header.length;
+    arr
+
+  let to_array path = with_reader path to_array_of_reader
+
+  let pack_array ?chunk_size path trace =
+    with_writer ?chunk_size path (fun w -> Array.iter (push w) trace)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Format dispatch                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type format = Text | Binary | Streamed
+
+let pp_format ppf f =
+  Format.pp_print_string ppf
+    (match f with Text -> "text" | Binary -> "binary" | Streamed -> "streamed")
+
+(* One open, one sniff: read up to 4 bytes, dispatch on them, and for
+   text rewind so the sniffed bytes are parsed as content. *)
+let sniff_format ic =
+  let head =
+    let want = min 4 (in_channel_length ic) in
+    really_input_string ic want
+  in
+  if String.equal head magic then Binary
+  else if String.equal head Stream.magic then Streamed
+  else begin
+    seek_in ic 0;
+    Text
+  end
+
+let format_of_file path = with_in path sniff_format
+
+let load path =
+  with_in path (fun ic ->
+      match sniff_format ic with
+      | Binary -> load_binary_body path ic
+      | Streamed -> Stream.to_array_of_reader (Stream.reader_of_channel path ic)
+      | Text -> load_text_ic path ic)
+
+let pack ?chunk_size ~src ~dst () =
+  with_in src (fun ic ->
+      Stream.with_writer ?chunk_size dst (fun w ->
+          match sniff_format ic with
+          | Binary ->
+            let n =
+              match read_u64 ic with
+              | exception End_of_file -> parse_error src "truncated header"
+              | n -> n
+            in
+            (try
+               for _ = 1 to n do
+                 Stream.push w (read_u64 ic)
+               done
+             with End_of_file -> parse_error src "truncated body")
+          | Streamed ->
+            let r = Stream.reader_of_channel src ic in
+            let rec go () =
+              match Stream.next_chunk r with
+              | None -> ()
+              | Some c ->
+                for i = 0 to Bigarray.Array1.dim c - 1 do
+                  Stream.push w (Bigarray.Array1.unsafe_get c i)
+                done;
+                go ()
+            in
+            go ()
+          | Text ->
+            (try
+               while true do
+                 let line = String.trim (input_line ic) in
+                 if line <> "" && line.[0] <> '#' then begin
+                   match int_of_string_opt line with
+                   | Some page -> Stream.push w page
+                   | None -> parse_error src "bad line %S" line
+                 end
+               done
+             with End_of_file -> ())))
 
 let pp_summary ppf s =
   Format.fprintf ppf "length=%a footprint=%a pages=[%d, %d]"
@@ -129,12 +483,4 @@ let replay ?(loop = true) trace =
     next;
   }
 
-let workload_of_file ?loop path =
-  let is_binary =
-    try
-      with_in path (fun ic ->
-          let m = really_input_string ic 4 in
-          m = magic)
-    with End_of_file -> false
-  in
-  replay ?loop (if is_binary then load_binary path else load_text path)
+let workload_of_file ?loop path = replay ?loop (load path)

@@ -1,6 +1,13 @@
 (** Trace persistence and summary statistics, so users can bring their
     own recorded page traces (the paper's graph500 experiment replays
-    one) and so generated traces can be archived. *)
+    one) and so generated traces can be archived.
+
+    Three on-disk formats are supported, dispatched on magic bytes:
+    - {e text}: one decimal page per line, [#] comments;
+    - {e binary} ("ATPT"): a count then fixed-width 64-bit pages;
+    - {e streamed} ("ATPS", {!module:Stream}): delta-encoded varint
+      chunks behind a Bigarray-backed reader, so billion-reference
+      traces replay without ever being fully resident. *)
 
 type summary = {
   length : int;
@@ -20,7 +27,9 @@ val save_text : string -> int array -> unit
 (** One decimal page number per line. *)
 
 val load_text : string -> int array
-(** Ignores blank lines and [#]-comments.
+(** Ignores blank lines and [#]-comments.  Parses into a growable flat
+    int buffer — peak memory is one over-allocated array, not a boxed
+    list.
     @raise Parse_error on a malformed line. *)
 
 val save_binary : string -> int array -> unit
@@ -29,6 +38,108 @@ val save_binary : string -> int array -> unit
 
 val load_binary : string -> int array
 (** @raise Parse_error on bad magic or a truncated file. *)
+
+(** The streamed trace format, magic "ATPS": a fixed header (magic,
+    64-bit version, chunk size, reference count) followed by framed
+    chunks.  Each chunk stores its first reference absolute and the
+    rest as deltas from the previous reference, all as zigzag LEB128
+    varints — graph traces are locality-heavy, so deltas are short —
+    and decodes standalone.  Readers hold one chunk at a time in a
+    reused Bigarray, so memory is bounded by the chunk size whatever
+    the trace length.  Values must fit 62 signed bits. *)
+module Stream : sig
+  val magic : string
+  (** ["ATPS"]. *)
+
+  val version : int
+
+  val default_chunk_size : int
+  (** 65536 references per chunk. *)
+
+  type header = { version : int; chunk_size : int; length : int }
+
+  type chunk = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+  (** A decoded run of references.  The array is a view into the
+      reader's reused buffer: consume it before the next
+      {!next_chunk} call. *)
+
+  type writer
+
+  val open_writer : ?chunk_size:int -> string -> writer
+  (** Create or truncate a streamed trace at the path.  The header's
+      reference count is patched on {!close_writer}, so the target
+      must be a seekable regular file.
+      @raise Invalid_argument if [chunk_size < 1]. *)
+
+  val push : writer -> int -> unit
+  (** Append one reference; flushes a frame every [chunk_size] pushes.
+      @raise Invalid_argument if the writer is closed. *)
+
+  val close_writer : writer -> unit
+  (** Flush the final partial chunk, patch the header count, close the
+      file.  Idempotent. *)
+
+  val with_writer : ?chunk_size:int -> string -> (writer -> 'a) -> 'a
+  (** Bracket: closes (and so finalizes the header) on any exit.
+      @raise Invalid_argument if [chunk_size < 1]. *)
+
+  type reader
+
+  val open_reader : string -> reader
+  (** @raise Parse_error on bad magic or a malformed header.
+      @raise Sys_error if the file cannot be opened. *)
+
+  val header : reader -> header
+
+  val next_chunk : reader -> chunk option
+  (** The next decoded chunk, or [None] once the declared count has
+      been delivered.  The returned view aliases the reader's buffer.
+      @raise Parse_error on a truncated or corrupt frame. *)
+
+  val close_reader : reader -> unit
+  (** Idempotent. *)
+
+  val with_reader : string -> (reader -> 'a) -> 'a
+  (** @raise Parse_error on bad magic or a malformed header. *)
+
+  val iter : (int -> unit) -> string -> unit
+  (** Visit every reference in file order, one chunk resident at a
+      time.
+      @raise Parse_error on a corrupt file. *)
+
+  val source : string -> unit -> int option
+  (** A pull stream of the file's references ([None] = end), the shape
+      the sharded engine consumes.  The underlying file closes when
+      the stream is exhausted.
+      @raise Parse_error (from the pull calls) on a corrupt file. *)
+
+  val to_array : string -> int array
+  (** Materialize a whole streamed trace (for small traces and tests).
+      @raise Parse_error on a corrupt file or a count mismatch. *)
+
+  val pack_array : ?chunk_size:int -> string -> int array -> unit
+  (** Write [trace] as a streamed file.
+      @raise Invalid_argument if [chunk_size < 1]. *)
+end
+
+type format = Text | Binary | Streamed
+
+val pp_format : Format.formatter -> format -> unit
+
+val format_of_file : string -> format
+(** Sniff a file's format from its magic bytes; anything that is not
+    "ATPT"/"ATPS" is presumed text. *)
+
+val load : string -> int array
+(** Load any of the three formats, dispatching on the magic bytes with
+    a single open of the file.
+    @raise Parse_error on a malformed file of any format. *)
+
+val pack : ?chunk_size:int -> src:string -> dst:string -> unit -> unit
+(** Convert [src] (any format) into a streamed "ATPS" file at [dst]
+    without materializing the trace: references are pumped one chunk
+    at a time from reader to writer.
+    @raise Parse_error if [src] is malformed. *)
 
 val pp_summary : Format.formatter -> summary -> unit
 
@@ -41,5 +152,6 @@ val replay : ?loop:bool -> int array -> Workload.t
     @raise Invalid_argument if the trace is empty. *)
 
 val workload_of_file : ?loop:bool -> string -> Workload.t
-(** {!replay} over {!load_text} or {!load_binary}, picked by the
-    file's magic bytes. *)
+(** {!replay} over {!load}: any format, one open.
+    @raise Parse_error on a malformed file.
+    @raise Invalid_argument if the file holds no references. *)
