@@ -7,7 +7,7 @@
 
    Experiments: fig1a fig1b fig1c decoupling ballsbins failures hybrid
    eps vmm thp smp mrc coalesced multiprog hpcfigs competitive iceberg
-   engine micro.
+   engine micro core.
 
    Every experiment runs on the Atp_exp runner: tasks execute in
    parallel with per-task outcomes (a raising task becomes an error
@@ -1596,6 +1596,141 @@ let micro () =
     outcomes
 
 (* ------------------------------------------------------------------ *)
+(* core: generic vs fused hot path                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Paired microbenchmarks for the allocation-free replay core: each
+   generic/fused pair exercises the same state shape with the same key
+   stream, so the delta is exactly the boxing + dispatch the fused
+   path removes.  The committed BENCH_core.json baseline records the
+   pairs; tools/bench_compare diffs a fresh --quick run against it. *)
+let core () =
+  header "B2: core hot path, generic vs fused (ns per operation, OLS fit)";
+  let task =
+    Spec.task ~key:"bechamel" (fun _reg ->
+        let open Bechamel in
+        let open Toolkit in
+        let policy_boxed =
+          let inst = Policy.instantiate (module Lru) ~capacity:4096 () in
+          let rng = Prng.create ~seed:21 () in
+          Test.make ~name:"policy-access-boxed"
+            (Staged.stage (fun () ->
+                 ignore (inst.Policy.access (Prng.int rng 16_384))))
+        in
+        let policy_fast =
+          let t = Lru.create ~capacity:4096 () in
+          let rng = Prng.create ~seed:21 () in
+          Test.make ~name:"policy-access-fast"
+            (Staged.stage (fun () ->
+                 ignore (Lru.access_fast t (Prng.int rng 16_384) : int)))
+        in
+        let sim_params = Params.derive ~p:(1 lsl 14) ~w:64 () in
+        let sim_generic =
+          let x = Policy.instantiate (module Lru) ~capacity:512 () in
+          let y =
+            Policy.instantiate (module Lru)
+              ~capacity:(Params.usable_pages sim_params) ()
+          in
+          let z = Simulation.create ~seed:7 ~params:sim_params ~x ~y () in
+          let rng = Prng.create ~seed:22 () in
+          Test.make ~name:"sim-access-generic"
+            (Staged.stage (fun () ->
+                 Simulation.access z (Prng.int rng (1 lsl 16))))
+        in
+        let sim_fused =
+          let module F = Sim_fused.Make (Lru) (Lru) in
+          let x = Lru.create ~capacity:512 () in
+          let y = Lru.create ~capacity:(Params.usable_pages sim_params) () in
+          let z = F.create ~seed:7 ~params:sim_params ~x ~y () in
+          let rng = Prng.create ~seed:22 () in
+          Test.make ~name:"sim-access-fused"
+            (Staged.stage (fun () -> F.access z (Prng.int rng (1 lsl 16))))
+        in
+        let batch_len = 256 in
+        let tlb_scalar =
+          let h = Atp_tlb.Hierarchy.create () in
+          let rng = Prng.create ~seed:23 () in
+          Test.make ~name:"tlb-hierarchy-lookup"
+            (Staged.stage (fun () ->
+                 let key = Prng.int rng 8192 in
+                 match Atp_tlb.Hierarchy.lookup h key with
+                 | Some _, _ -> ()
+                 | None, _ -> Atp_tlb.Hierarchy.insert h key key))
+        in
+        let tlb_batch =
+          let h = Atp_tlb.Hierarchy.create () in
+          let rng = Prng.create ~seed:23 () in
+          let chunk =
+            Bigarray.Array1.create Bigarray.int Bigarray.c_layout batch_len
+          in
+          Test.make ~name:(Printf.sprintf "tlb-hierarchy-batch(%d)" batch_len)
+            (Staged.stage (fun () ->
+                 for i = 0 to batch_len - 1 do
+                   Bigarray.Array1.unsafe_set chunk i (Prng.int rng 8192)
+                 done;
+                 let r =
+                   Atp_tlb.Hierarchy.lookup_batch h
+                     ~on_miss:(fun key -> Atp_tlb.Hierarchy.insert h key key)
+                     chunk 0 batch_len
+                 in
+                 ignore (r.Atp_tlb.Hierarchy.batch_cycles : int)))
+        in
+        let tests =
+          [
+            policy_boxed; policy_fast; sim_generic; sim_fused; tlb_scalar;
+            tlb_batch;
+          ]
+        in
+        let grouped = Test.make_grouped ~name:"core" tests in
+        let ols =
+          Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+        in
+        let instances = Instance.[ monotonic_clock ] in
+        let cfg =
+          Benchmark.cfg ~limit:2000
+            ~quota:(Time.second (if quick then 0.25 else 0.5))
+            ~kde:(Some 1000) ()
+        in
+        let raw = Benchmark.all cfg instances grouped in
+        let results = List.map (fun i -> Analyze.all ols i raw) instances in
+        let merged = Analyze.merge ols instances results in
+        let rows = ref [] in
+        Hashtbl.iter
+          (fun measure per_test ->
+            if String.equal measure (Measure.label Instance.monotonic_clock)
+            then
+              Hashtbl.iter
+                (fun name ols_result ->
+                  match Analyze.OLS.estimates ols_result with
+                  | Some [ est ] -> rows := (name, Json.Float est) :: !rows
+                  | _ -> rows := (name, Json.Null) :: !rows)
+                per_test)
+          merged;
+        Json.Obj
+          (List.sort (fun (a, _) (b, _) -> String.compare a b) !rows))
+  in
+  let outcomes = run_spec (spec ~name:"core" [ task ]) in
+  List.iter
+    (fun o ->
+      match Outcome.data o with
+      | Some (Json.Obj fields) ->
+        List.iter
+          (fun (name, v) ->
+            match Json.as_float v with
+            | Some est -> Printf.printf "%-36s %12.1f ns/op\n" name est
+            | None -> Printf.printf "%-36s %12s\n" name "n/a")
+          fields
+      | Some _ -> ()
+      | None ->
+        Printf.printf "bechamel FAILED: %s\n"
+          (match Outcome.error o with Some (e, _) -> e | None -> "unknown"))
+    outcomes;
+  Printf.printf
+    "\nthe batch row is ns per %d-key block; divide by the block length \
+     before comparing with the scalar row.\n"
+    256
+
+(* ------------------------------------------------------------------ *)
 (* engine: sharded streaming replay vs exact sequential replay         *)
 (* ------------------------------------------------------------------ *)
 
@@ -1662,11 +1797,52 @@ let engine_exp () =
             ("epochs", Json.Int t.Engine.epochs);
             ("warmup_discarded", Json.Int t.Engine.warmup_replayed);
             ("wall", Json.Float wall);
+            ("refs_per_sec",
+             Json.Float (if wall > 0. then float_of_int n /. wall else 0.));
+            (* Wall-clock ratio against the generic sequential replay
+               of the same stream: machine-portable, unlike ns/op, so
+               the CI regression gate compares this field. *)
             ("speedup", Json.Float (if wall > 0. then seq_wall /. wall else 0.));
           ]
       in
       let seq_task =
         Spec.task ~key:"sequential" (fun _reg -> row baseline ~wall:seq_wall)
+      in
+      let make_fused () =
+        match
+          Sim_fused.specialized ~seed:7 ~params ~x_name:"lru" ~x_capacity:64
+            ~x_rng:(Prng.create ~seed:11 ())
+            ~y_name:"lru" ~y_capacity:256
+            ~y_rng:(Prng.create ~seed:13 ())
+            ()
+        with
+        | Some f -> f
+        | None -> assert false
+      in
+      let fused_stream_task =
+        Spec.task ~key:"fused-stream" (fun _reg ->
+            let t0 = Unix.gettimeofday () in
+            let totals = Engine.replay_stream_fused ~make_fused path in
+            let wall = Unix.gettimeofday () -. t0 in
+            (* The fused path must be bit-identical to the generic
+               sequential replay, not merely within the error bound. *)
+            if totals <> baseline then
+              failwith "fused-stream totals differ from sequential replay";
+            row totals ~wall)
+      in
+      let fused_sharded_task shards =
+        Spec.task ~key:(Printf.sprintf "fused-shards=%d" shards) (fun reg ->
+            let t0 = Unix.gettimeofday () in
+            let totals =
+              Engine.replay_fused
+                ~obs:(Obs.Scope.v ~prefix:"engine" reg)
+                ~clock:Unix.gettimeofday
+                ~config:
+                  { Engine.shards; epoch_len; warmup = epoch_len; domains = None }
+                ~make_fused
+                (Engine.block_source_of_stream path)
+            in
+            row totals ~wall:(Unix.gettimeofday () -. t0))
       in
       let sharded_task shards =
         Spec.task ~key:(Printf.sprintf "shards=%d" shards) (fun reg ->
@@ -1693,7 +1869,9 @@ let engine_exp () =
                  ("ram", Json.Int ram);
                  ("error_bound", Json.Float Engine.documented_error_bound);
                ]
-             (seq_task :: List.map sharded_task [ 1; 2; 4; 8 ]))
+             ((seq_task :: fused_stream_task
+               :: List.map sharded_task [ 1; 2; 4; 8 ])
+             @ List.map fused_sharded_task [ 1; 4 ]))
       in
       Report.print_table
         ~columns:
@@ -1735,6 +1913,7 @@ let experiments =
     ("iceberg", iceberg);
     ("engine", engine_exp);
     ("micro", micro);
+    ("core", core);
   ]
 
 let () =

@@ -20,6 +20,7 @@ type t = {
   mutable failures_now : int;
   mutable failures_total : int;
   mutable fallback_cursor : int;  (* rotating scan start for fallbacks *)
+  b_div : Divider.t;  (* strength-reduced / and mod by bucket_size *)
 }
 
 let create ?(seed = 0xA7B) params =
@@ -37,6 +38,7 @@ let create ?(seed = 0xA7B) params =
     failures_now = 0;
     failures_total = 0;
     fallback_cursor = 0;
+    b_div = Divider.make bucket_size;
   }
 
 let params t = t.params
@@ -51,16 +53,16 @@ let mem t page = Int_table.mem t.code_of page
 
 let bin_of_choice t ~page ~choice = Hashing.apply t.fam choice page
 
-let take_slot t bin =
-  match Bitvec.first_clear t.occupancy.(bin) with
-  | None -> assert false
-  | Some slot ->
-    Bitvec.set t.occupancy.(bin) slot;
-    t.free_in.(bin) <- t.free_in.(bin) - 1;
-    t.total_free <- t.total_free - 1;
-    slot
+let[@atplint.hot] take_slot t bin =
+  let occ = t.occupancy.(bin) in
+  let slot = Bitvec.first_clear_index occ in
+  if slot < 0 then assert false;
+  Bitvec.set occ slot;
+  t.free_in.(bin) <- t.free_in.(bin) - 1;
+  t.total_free <- t.total_free - 1;
+  slot
 
-let release_slot t bin slot =
+let[@atplint.hot] release_slot t bin slot =
   Bitvec.clear t.occupancy.(bin) slot;
   t.free_in.(bin) <- t.free_in.(bin) + 1;
   t.total_free <- t.total_free + 1
@@ -78,19 +80,25 @@ let find_fallback t =
   t.fallback_cursor <- (bin + 1) mod buckets;
   bin
 
-let insert t page =
+let[@atplint.hot] place t page choice bin =
+  let slot = take_slot t bin in
+  if choice = 0 then t.front_load.(bin) <- t.front_load.(bin) + 1
+  else t.back_load.(bin) <- t.back_load.(bin) + 1;
+  let code = (choice * t.params.Params.bucket_size) + slot in
+  Int_table.set t.code_of page code;
+  code
+
+(* The allocation-free primitive: places the page and returns its
+   packed code ([choice * B + slot] when placed, [-frame - 1] on a
+   paging failure) — the same packing [code_of] stores.  [insert] is
+   its boxed view. *)
+let[@atplint.hot] insert_code t page =
   if mem t page then invalid_arg "Alloc.insert: page already resident";
   if t.total_free = 0 then failwith "Alloc: RAM completely full";
   let { Params.bucket_size; k; tau; _ } = t.params in
-  let place choice bin =
-    let slot = take_slot t bin in
-    if choice = 0 then t.front_load.(bin) <- t.front_load.(bin) + 1
-    else t.back_load.(bin) <- t.back_load.(bin) + 1;
-    Int_table.set t.code_of page ((choice * bucket_size) + slot);
-    Placed { choice; slot; frame = (bin * bucket_size) + slot }
-  in
   let front = Hashing.apply t.fam 0 page in
-  if t.front_load.(front) < tau && t.free_in.(front) > 0 then place 0 front
+  if t.front_load.(front) < tau && t.free_in.(front) > 0 then
+    place t page 0 front
   else begin
     (* Greedy[d] on back-yard loads over choices 1..k-1, skipping
        physically full buckets. *)
@@ -105,7 +113,7 @@ let insert t page =
         best_bin := bin
       end
     done;
-    if !best >= 0 then place !best !best_bin
+    if !best >= 0 then place t page !best !best_bin
     else begin
       (* Paging failure: park the page anywhere; it has no encoding. *)
       let bin = find_fallback t in
@@ -115,18 +123,25 @@ let insert t page =
       Int_table.set t.code_of page (-frame - 1);
       t.failures_now <- t.failures_now + 1;
       t.failures_total <- t.failures_total + 1;
-      Fallback { frame }
+      -frame - 1
     end
   end
 
 let decode_code t page code =
   let bucket_size = t.params.Params.bucket_size in
   if code >= 0 then begin
-    let choice = code / bucket_size and slot = code mod bucket_size in
+    let choice = Divider.div t.b_div code in
+    let slot = code - (choice * bucket_size) in
     let bin = bin_of_choice t ~page ~choice in
     Placed { choice; slot; frame = (bin * bucket_size) + slot }
   end
   else Fallback { frame = -code - 1 }
+
+let insert t page = decode_code t page (insert_code t page)
+
+let missing_code = min_int
+
+let code_of t page = Int_table.find_or t.code_of page missing_code
 
 let location_of t page =
   Option.map (decode_code t page) (Int_table.find t.code_of page)
@@ -136,23 +151,27 @@ let frame_of t page =
   | Some (Placed { frame; _ }) | Some (Fallback { frame }) -> Some frame
   | None -> None
 
-let delete t page =
-  match Int_table.find t.code_of page with
-  | None -> invalid_arg "Alloc.delete: page not resident"
-  | Some code ->
-    ignore (Int_table.remove t.code_of page);
-    let bucket_size = t.params.Params.bucket_size in
-    (match decode_code t page code with
-     | Placed { choice; slot; frame } ->
-       let bin = frame / bucket_size in
-       release_slot t bin slot;
-       if choice = 0 then t.front_load.(bin) <- t.front_load.(bin) - 1
-       else t.back_load.(bin) <- t.back_load.(bin) - 1
-     | Fallback { frame } ->
-       let bin = frame / bucket_size and slot = frame mod bucket_size in
-       release_slot t bin slot;
-       t.back_load.(bin) <- t.back_load.(bin) - 1;
-       t.failures_now <- t.failures_now - 1)
+let[@atplint.hot] delete t page =
+  let code = code_of t page in
+  if code = missing_code then invalid_arg "Alloc.delete: page not resident";
+  ignore (Int_table.remove t.code_of page);
+  let bucket_size = t.params.Params.bucket_size in
+  if code >= 0 then begin
+    let choice = Divider.div t.b_div code in
+    let slot = code - (choice * bucket_size) in
+    let bin = Hashing.apply t.fam choice page in
+    release_slot t bin slot;
+    if choice = 0 then t.front_load.(bin) <- t.front_load.(bin) - 1
+    else t.back_load.(bin) <- t.back_load.(bin) - 1
+  end
+  else begin
+    let frame = -code - 1 in
+    let bin = Divider.div t.b_div frame in
+    let slot = frame - (bin * bucket_size) in
+    release_slot t bin slot;
+    t.back_load.(bin) <- t.back_load.(bin) - 1;
+    t.failures_now <- t.failures_now - 1
+  end
 
 let failures_now t = t.failures_now
 

@@ -38,6 +38,15 @@ val live : t -> int
 
 val free : t -> int
 
+val insert_code : t -> int -> int
+(** The allocation-free {!insert}: places the page and returns its
+    packed code — [choice * B + slot] ([>= 0]) when placed,
+    [-frame - 1] on a paging failure.  {!insert} is this function's
+    boxed view.
+
+    @raise Invalid_argument if the page is already resident.
+    @raise Failure if RAM is completely full. *)
+
 val insert : t -> int -> location
 (** Raises [Invalid_argument] if the page is already resident, and
     [Failure] if RAM is completely full (the caller must respect
@@ -50,6 +59,13 @@ val delete : t -> int -> unit
 (** Raises [Invalid_argument] if absent.
 
     @raise Invalid_argument if the page is not resident. *)
+
+val missing_code : int
+(** [min_int]: {!code_of}'s answer for a non-resident page. *)
+
+val code_of : t -> int -> int
+(** The resident page's packed code (as {!insert_code} returned it),
+    or {!missing_code}.  Allocation-free. *)
 
 val location_of : t -> int -> location option
 

@@ -15,7 +15,7 @@ type t = {
   params : Params.t;
   alloc : Alloc.t;
   enc : Encoding.t;
-  values : (int, Encoding.value) Hashtbl.t;
+  values : Encoding.value Int_table.Poly.t;
   counts : Int_table.t;  (* huge page -> resident constituents *)
   in_tlb : Int_table.t;  (* huge page -> 1 *)
 }
@@ -26,7 +26,7 @@ let create ?seed params =
     params;
     alloc;
     enc = Encoding.create alloc;
-    values = Hashtbl.create 4096;
+    values = Int_table.Poly.create ~initial_capacity:4096 ();
     counts = Int_table.create ();
     in_tlb = Int_table.create ();
   }
@@ -37,65 +37,88 @@ let alloc t = t.alloc
 
 let h_max t = Encoding.h_max t.enc
 
+let[@inline] [@atplint.hot] huge_of t v = Encoding.huge_of t.enc v
+
+(* A sentinel distinct (physically) from every stored psi, so the hot
+   lookups below need no option. *)
+let no_value : Encoding.value = Atp_util.Packed_array.create ~width:1 ~length:1
+
 let value_for t u =
-  match Hashtbl.find_opt t.values u with
-  | Some value -> value
-  | None ->
+  let value = Int_table.Poly.find_or t.values u no_value in
+  if value != no_value then value
+  else begin
     let value = Encoding.empty_value t.enc in
-    Hashtbl.replace t.values u value;
+    Int_table.Poly.set t.values u value;
     value
+  end
 
 let maybe_drop t u =
-  let count = Option.value (Int_table.find t.counts u) ~default:0 in
-  if count = 0 && not (Int_table.mem t.in_tlb u) then Hashtbl.remove t.values u
+  let count = Int_table.find_or t.counts u 0 in
+  if count = 0 && not (Int_table.mem t.in_tlb u) then
+    ignore (Int_table.Poly.remove t.values u)
 
-let ram_insert t v =
-  let location = Alloc.insert t.alloc v in
+let[@atplint.hot] ram_insert t v =
+  let code = Alloc.insert_code t.alloc v in
   let u = Encoding.huge_of t.enc v in
-  let count = Option.value (Int_table.find t.counts u) ~default:0 in
-  Int_table.set t.counts u (count + 1);
-  Encoding.refresh_page t.enc (value_for t u) v;
-  location
+  ignore (Int_table.incr_by t.counts u 1 : int);
+  Encoding.set_code t.enc (value_for t u) v code
 
-let ram_evict t v =
+let[@atplint.hot] ram_evict t v =
   Alloc.delete t.alloc v;
   let u = Encoding.huge_of t.enc v in
-  let count = Int_table.find_exn t.counts u in
-  (match Hashtbl.find_opt t.values u with
-   | Some value -> Encoding.clear_page t.enc value v
-   | None -> assert false);
-  if count = 1 then begin
+  let value = Int_table.Poly.find_or t.values u no_value in
+  if value == no_value then assert false;
+  Encoding.clear_page t.enc value v;
+  let count = Int_table.incr_by t.counts u (-1) in
+  if count = 0 then begin
     ignore (Int_table.remove t.counts u);
     maybe_drop t u
   end
-  else Int_table.set t.counts u (count - 1)
 
 let active t = Alloc.live t.alloc
 
-let tlb_add t u =
+let[@atplint.hot] tlb_add t u =
   if Int_table.add_if_absent t.in_tlb u 1 then ignore (value_for t u)
 
-let tlb_remove t u =
+let[@atplint.hot] tlb_remove t u =
   if Int_table.remove t.in_tlb u then maybe_drop t u
 
-let tlb_mem t u = Int_table.mem t.in_tlb u
+let[@atplint.hot] tlb_mem t u = Int_table.mem t.in_tlb u
 
 let tlb_size t = Int_table.length t.in_tlb
 
-let translate t v =
-  let u = Encoding.huge_of t.enc v in
-  if not (Int_table.mem t.in_tlb u) then Not_covered
+(* The allocation-free translate: [>= 0] is the frame,
+   [fault_code] a decoding fault, [not_covered_code] a TLB miss. *)
+let fault_code = -1
+
+let not_covered_code = -2
+
+(* The covered-case body, shared with {!translate_code}: callers that
+   have just ensured coverage (the fused loop adds u to the TLB on an
+   X miss before translating) skip the membership probe. *)
+let[@inline] [@atplint.hot] translate_covered_code t v u =
+  let value = Int_table.Poly.find_or t.values u no_value in
+  if value == no_value then fault_code
+    (* covered but no constituent resident *)
   else begin
-    match Hashtbl.find_opt t.values u with
-    | None -> Decode_fault  (* covered but no constituent resident *)
-    | Some value ->
-      let frame = Encoding.decode t.enc v value in
-      if frame < 0 then Decode_fault else Frame frame
+    let frame = Encoding.decode t.enc v value in
+    if frame < 0 then fault_code else frame
   end
+
+let[@atplint.hot] translate_code t v =
+  let u = Encoding.huge_of t.enc v in
+  if not (Int_table.mem t.in_tlb u) then not_covered_code
+  else translate_covered_code t v u
+
+let translate t v =
+  let code = translate_code t v in
+  if code >= 0 then Frame code
+  else if code = fault_code then Decode_fault
+  else Not_covered
 
 let decoded_frame t v =
   let u = Encoding.huge_of t.enc v in
-  match Hashtbl.find_opt t.values u with
+  match Int_table.Poly.find t.values u with
   | None -> None
   | Some value ->
     let frame = Encoding.decode t.enc v value in

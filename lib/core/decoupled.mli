@@ -29,9 +29,14 @@ val alloc : t -> Alloc.t
 
 val h_max : t -> int
 
+val huge_of : t -> int -> int
+(** The covering huge page r(v) = v / h_max, via the scheme's
+    strength-reduced divider — the hot paths' replacement for a
+    hardware divide per access. *)
+
 (** {2 RAM-replacement events} *)
 
-val ram_insert : t -> int -> Alloc.location
+val ram_insert : t -> int -> unit
 (** Page [v] enters the active set A; assigns φ(v) and updates ψ of
     the covering huge page. *)
 
@@ -57,6 +62,24 @@ val tlb_size : t -> int
 
 val translate : t -> int -> translation
 (** Look up page [v] through the decoupled TLB. *)
+
+val translate_code : t -> int -> int
+(** Allocation-free [translate]: the frame φ(v) when [>= 0], else
+    {!fault_code} or {!not_covered_code}.  [translate] is this
+    function's boxed view. *)
+
+val translate_covered_code : t -> int -> int -> int
+(** [translate_covered_code t v u] is {!translate_code} for a page
+    whose huge page [u] is already known to be TLB-covered — the
+    membership probe is skipped, so [not_covered_code] is never
+    returned.  The fused replay loop calls this right after ensuring
+    coverage. *)
+
+val fault_code : int
+(** [-1]: covered but f returned ⊥ ([Decode_fault]). *)
+
+val not_covered_code : int
+(** [-2]: no TLB entry for r(v) ([Not_covered]). *)
 
 val decoded_frame : t -> int -> int option
 (** Debug/verification view: what f would return for [v] if its huge

@@ -8,6 +8,8 @@ type t = {
   bits_per_page : int;
   bucket_size : int;
   null : int;
+  h_div : Divider.t;  (* strength-reduced / and mod by h_max *)
+  b_div : Divider.t;  (* … and by bucket_size *)
 }
 
 let create alloc =
@@ -19,6 +21,8 @@ let create alloc =
     bits_per_page;
     bucket_size;
     null = k * bucket_size;
+    h_div = Divider.make h_max;
+    b_div = Divider.make bucket_size;
   }
 
 let h_max t = t.h_max
@@ -27,9 +31,9 @@ let bits_used t = t.h_max * t.bits_per_page
 
 let null_code t = t.null
 
-let huge_of t v = v / t.h_max
+let[@inline] [@atplint.hot] huge_of t v = Divider.div t.h_div v
 
-let index_of t v = v mod t.h_max
+let[@inline] [@atplint.hot] index_of t v = Divider.rem t.h_div v
 
 let empty_value t =
   let value = Packed_array.create ~width:t.bits_per_page ~length:t.h_max in
@@ -38,15 +42,14 @@ let empty_value t =
   done;
   value
 
-let refresh_page t value v =
-  let code =
-    match Alloc.location_of t.alloc v with
-    | Some (Alloc.Placed { choice; slot; _ }) -> (choice * t.bucket_size) + slot
-    | Some (Alloc.Fallback _) | None -> t.null
-  in
-  Packed_array.set value (index_of t v) code
+(* A placed page's packed Alloc code is exactly the field encoding
+   ([choice * B + slot < k * B = null]); fallback or absent is null. *)
+let[@atplint.hot] set_code t value v code =
+  Packed_array.set value (index_of t v) (if code >= 0 then code else t.null)
 
-let clear_page t value v = Packed_array.set value (index_of t v) t.null
+let refresh_page t value v = set_code t value v (Alloc.code_of t.alloc v)
+
+let[@atplint.hot] clear_page t value v = Packed_array.set value (index_of t v) t.null
 
 let is_empty t value =
   let rec go i =
@@ -54,11 +57,12 @@ let is_empty t value =
   in
   go 0
 
-let decode t v value =
+let[@atplint.hot] decode t v value =
   let code = Packed_array.get value (index_of t v) in
   if code = t.null then -1
   else begin
-    let choice = code / t.bucket_size and slot = code mod t.bucket_size in
+    let choice = Divider.div t.b_div code in
+    let slot = code - (choice * t.bucket_size) in
     let bin = Alloc.bin_of_choice t.alloc ~page:v ~choice in
     (bin * t.bucket_size) + slot
   end

@@ -37,6 +37,13 @@ val index_of : t -> int -> int
 val empty_value : t -> value
 (** A ψ with every field null. *)
 
+val set_code : t -> value -> int -> int -> unit
+(** [set_code t value v code] writes the field for page [v] directly
+    from a packed {!Alloc} code ([{!Alloc.insert_code}]'s return):
+    the code itself when placed ([>= 0]), null otherwise.
+    Allocation-free — the hot insert path uses this instead of
+    {!refresh_page}'s allocator lookup. *)
+
 val refresh_page : t -> value -> int -> unit
 (** Re-encode the field for page [v] from the allocator's current
     location: (choice, slot) if placed, null if absent or in fallback

@@ -1,0 +1,311 @@
+open Atp_paging
+module Obs = Atp_obs
+
+[@@@atplint.hot]
+
+type chunk = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+(* Shared mutable core: the decoupling scheme plus the exact counter
+   and trace layout of [Simulation.create], so a fused run and a
+   generic run of the same (X, Y, seed) produce byte-identical reports
+   and obs snapshots.  The policy states live outside this record —
+   either as functor-specialized values ({!Make}) or as boxed
+   [access_fast] closures ({!of_instances}). *)
+type core = {
+  d : Decoupled.t;
+  failures_at_reset : int ref;
+  tr : Obs.Trace.t;
+  c_accesses : Obs.Counter.t;
+  c_ios : Obs.Counter.t;
+  c_tlb_fills : Obs.Counter.t;
+  c_decoding_misses : Obs.Counter.t;
+  c_psi_updates : Obs.Counter.t;
+  g_max_bucket_load : Obs.Gauge.t;
+}
+
+let make_core ?seed ?obs ~params ~y_capacity () =
+  let budget = Params.usable_pages params in
+  if y_capacity > budget then
+    invalid_arg
+      (Printf.sprintf
+         "Sim_fused: Y capacity %d exceeds the (1-delta)P budget %d"
+         y_capacity budget);
+  let d = Decoupled.create ?seed params in
+  let obs = match obs with Some o -> o | None -> Obs.Scope.null () in
+  {
+    d;
+    failures_at_reset = ref 0;
+    tr = Obs.Scope.tracer obs;
+    c_accesses = Obs.Scope.counter obs "accesses";
+    c_ios = Obs.Scope.counter obs "ios";
+    c_tlb_fills = Obs.Scope.counter obs "tlb_fills";
+    c_decoding_misses = Obs.Scope.counter obs "decoding_misses";
+    c_psi_updates = Obs.Scope.counter obs "psi_updates";
+    g_max_bucket_load = Obs.Scope.gauge obs "max_bucket_load";
+  }
+
+let[@inline] note_psi_update c page =
+  let u = Decoupled.huge_of c.d page in
+  if Decoupled.tlb_mem c.d u then begin
+    Obs.Counter.incr c.c_psi_updates;
+    Obs.Trace.record c.tr Obs.Event.Psi_update page u
+  end
+
+(* The three steps of [Simulation.access], split around the two policy
+   calls so {!Make} can invoke X and Y directly (inlinable) while
+   {!of_instances} goes through closures.  Event order is identical to
+   the generic path. *)
+
+let[@inline] on_tlb c u fx =
+  if Policy.fast_is_hit fx then Obs.Trace.record c.tr Obs.Event.Tlb_hit u 0
+  else begin
+    Obs.Counter.incr c.c_tlb_fills;
+    Obs.Trace.record c.tr Obs.Event.Tlb_miss u 0;
+    let victim = Policy.fast_evicted fx in
+    if victim >= 0 then begin
+      Obs.Trace.record c.tr Obs.Event.Eviction victim u;
+      Decoupled.tlb_remove c.d victim
+    end;
+    Decoupled.tlb_add c.d u
+  end
+
+let[@inline] on_ram c page fy =
+  if not (Policy.fast_is_hit fy) then begin
+    Obs.Counter.incr c.c_ios;
+    Obs.Trace.record c.tr Obs.Event.Io page 0;
+    let victim = Policy.fast_evicted fy in
+    if victim >= 0 then begin
+      Decoupled.ram_evict c.d victim;
+      note_psi_update c victim
+    end;
+    Decoupled.ram_insert c.d page;
+    note_psi_update c page
+  end
+
+let[@inline] on_translate c page u =
+  (* u is covered here: it was just added on an X miss, and X holds it
+     on a hit — so the TLB-membership probe of [translate_code] is
+     redundant and skipped. *)
+  let code = Decoupled.translate_covered_code c.d page u in
+  if code = Decoupled.fault_code then begin
+    Obs.Counter.incr c.c_decoding_misses;
+    Obs.Trace.record c.tr Obs.Event.Decode_miss page u
+  end
+
+let core_report c =
+  let max_bucket_load = Alloc.max_bucket_load (Decoupled.alloc c.d) in
+  Obs.Gauge.set_int c.g_max_bucket_load max_bucket_load;
+  {
+    Simulation.accesses = Obs.Counter.value c.c_accesses;
+    ios = Obs.Counter.value c.c_ios;
+    tlb_fills = Obs.Counter.value c.c_tlb_fills;
+    decoding_misses = Obs.Counter.value c.c_decoding_misses;
+    failures_total =
+      Alloc.failures_total (Decoupled.alloc c.d) - !(c.failures_at_reset);
+    max_bucket_load;
+  }
+
+let core_reset_report c =
+  c.failures_at_reset := Alloc.failures_total (Decoupled.alloc c.d);
+  Obs.Counter.reset c.c_accesses;
+  Obs.Counter.reset c.c_ios;
+  Obs.Counter.reset c.c_tlb_fills;
+  Obs.Counter.reset c.c_decoding_misses;
+  Obs.Counter.reset c.c_psi_updates
+
+(* Boxed view for heterogeneous callers (the engine, benches): one
+   closure record per simulation, never per access. *)
+type fused = {
+  access : int -> unit;
+  access_array : int array -> int -> int -> unit;
+  access_chunk : chunk -> int -> int -> unit;
+  report : unit -> Simulation.report;
+  reset_report : unit -> unit;
+  decoupled : Decoupled.t;
+}
+
+module Make (X : Policy.Fast) (Y : Policy.Fast) = struct
+  type t = { c : core; x : X.t; y : Y.t }
+
+  let create ?seed ?obs ~params ~x ~y () =
+    let c = make_core ?seed ?obs ~params ~y_capacity:(Y.capacity y) () in
+    { c; x; y }
+
+  let decoupled t = t.c.d
+
+  let access t page =
+    Obs.Counter.incr t.c.c_accesses;
+    let u = Decoupled.huge_of t.c.d page in
+    on_tlb t.c u (X.access_fast t.x u);
+    on_ram t.c page (Y.access_fast t.y page);
+    on_translate t.c page u
+
+  let access_array t refs pos len =
+    if pos < 0 || len < 0 || pos + len > Array.length refs then
+      invalid_arg "Sim_fused.access_array";
+    for i = pos to pos + len - 1 do
+      access t (Array.unsafe_get refs i)
+    done
+
+  let access_chunk t (chunk : chunk) pos len =
+    if pos < 0 || len < 0 || pos + len > Bigarray.Array1.dim chunk then
+      invalid_arg "Sim_fused.access_chunk";
+    for i = pos to pos + len - 1 do
+      access t (Bigarray.Array1.unsafe_get chunk i)
+    done
+
+  let report t = core_report t.c
+
+  let reset_report t = core_reset_report t.c
+
+  let run ?warmup t trace =
+    (match warmup with
+     | Some w -> access_array t w 0 (Array.length w)
+     | None -> ());
+    reset_report t;
+    access_array t trace 0 (Array.length trace);
+    report t
+
+  (* Constructor-time: one closure record per simulation. *)
+  let[@atplint.allow "hot-path-alloc"] fused t =
+    {
+      access = (fun page -> access t page);
+      access_array = (fun refs pos len -> access_array t refs pos len);
+      access_chunk = (fun chunk pos len -> access_chunk t chunk pos len);
+      report = (fun () -> report t);
+      reset_report = (fun () -> reset_report t);
+      decoupled = t.c.d;
+    }
+end
+
+(* Generic fallback: any pair of policy instances, dispatched through
+   their [access_fast] closures.  Slower than {!Make} (two indirect
+   calls per access) but still outcome-boxing free. *)
+(* Constructor-time: the closures are built once per simulation; their
+   bodies reuse the allocation-free [on_tlb]/[on_ram]/[on_translate]
+   steps. *)
+let[@atplint.allow "hot-path-alloc"] of_instances ?seed ?obs ~params
+    ~(x : Policy.instance) ~(y : Policy.instance) () =
+  let c = make_core ?seed ?obs ~params ~y_capacity:y.Policy.capacity () in
+  let xf = x.Policy.access_fast in
+  let yf = y.Policy.access_fast in
+  let access page =
+    Obs.Counter.incr c.c_accesses;
+    let u = Decoupled.huge_of c.d page in
+    on_tlb c u (xf u);
+    on_ram c page (yf page);
+    on_translate c page u
+  in
+  let access_array refs pos len =
+    if pos < 0 || len < 0 || pos + len > Array.length refs then
+      invalid_arg "Sim_fused.access_array";
+    for i = pos to pos + len - 1 do
+      access (Array.unsafe_get refs i)
+    done
+  in
+  let access_chunk (chunk : chunk) pos len =
+    if pos < 0 || len < 0 || pos + len > Bigarray.Array1.dim chunk then
+      invalid_arg "Sim_fused.access_chunk";
+    for i = pos to pos + len - 1 do
+      access (Bigarray.Array1.unsafe_get chunk i)
+    done
+  in
+  {
+    access;
+    access_array;
+    access_chunk;
+    report = (fun () -> core_report c);
+    reset_report = (fun () -> core_reset_report c);
+    decoupled = c.d;
+  }
+
+let run_fused ?warmup (f : fused) trace =
+  (match warmup with
+   | Some w -> f.access_array w 0 (Array.length w)
+   | None -> ());
+  f.reset_report ();
+  f.access_array trace 0 (Array.length trace);
+  f.report ()
+
+(* Specialize the [Make] inner loop for the natively-fast policy pairs
+   the benchmarks and the engine care about; anything else falls back
+   to [of_instances].  The string pair is (x_name, y_name). *)
+module Lru_lru = Make (Lru) (Lru)
+module Lru_fifo = Make (Lru) (Fifo)
+module Fifo_lru = Make (Fifo) (Lru)
+module Fifo_fifo = Make (Fifo) (Fifo)
+module Lru_two_q = Make (Lru) (Two_q)
+module Two_q_lru = Make (Two_q) (Lru)
+module Two_q_two_q = Make (Two_q) (Two_q)
+
+let specialized_pairs =
+  [
+    ("lru", "lru");
+    ("lru", "fifo");
+    ("fifo", "lru");
+    ("fifo", "fifo");
+    ("lru", "2q");
+    ("2q", "lru");
+    ("2q", "2q");
+  ]
+
+let[@atplint.allow "hot-path-alloc"] specialized ?seed ?obs ~params ~x_name
+    ~x_capacity ?x_rng ~y_name ~y_capacity ?y_rng () =
+  let lru c rng = Lru.create ?rng ~capacity:c () in
+  let fifo c rng = Fifo.create ?rng ~capacity:c () in
+  let two_q c rng = Two_q.create ?rng ~capacity:c () in
+  match (x_name, y_name) with
+  | "lru", "lru" ->
+    Some
+      (Lru_lru.fused
+         (Lru_lru.create ?seed ?obs ~params ~x:(lru x_capacity x_rng)
+            ~y:(lru y_capacity y_rng) ()))
+  | "lru", "fifo" ->
+    Some
+      (Lru_fifo.fused
+         (Lru_fifo.create ?seed ?obs ~params ~x:(lru x_capacity x_rng)
+            ~y:(fifo y_capacity y_rng) ()))
+  | "fifo", "lru" ->
+    Some
+      (Fifo_lru.fused
+         (Fifo_lru.create ?seed ?obs ~params ~x:(fifo x_capacity x_rng)
+            ~y:(lru y_capacity y_rng) ()))
+  | "fifo", "fifo" ->
+    Some
+      (Fifo_fifo.fused
+         (Fifo_fifo.create ?seed ?obs ~params ~x:(fifo x_capacity x_rng)
+            ~y:(fifo y_capacity y_rng) ()))
+  | "lru", "2q" ->
+    Some
+      (Lru_two_q.fused
+         (Lru_two_q.create ?seed ?obs ~params ~x:(lru x_capacity x_rng)
+            ~y:(two_q y_capacity y_rng) ()))
+  | "2q", "lru" ->
+    Some
+      (Two_q_lru.fused
+         (Two_q_lru.create ?seed ?obs ~params ~x:(two_q x_capacity x_rng)
+            ~y:(lru y_capacity y_rng) ()))
+  | "2q", "2q" ->
+    Some
+      (Two_q_two_q.fused
+         (Two_q_two_q.create ?seed ?obs ~params ~x:(two_q x_capacity x_rng)
+            ~y:(two_q y_capacity y_rng) ()))
+  | _ -> None
+
+let for_names ?seed ?obs ~params ~x_name ~x_capacity ?x_rng ~y_name ~y_capacity
+    ?y_rng () =
+  match
+    specialized ?seed ?obs ~params ~x_name ~x_capacity ?x_rng ~y_name
+      ~y_capacity ?y_rng ()
+  with
+  | Some f -> f
+  | None ->
+    let x =
+      Policy.instantiate_fast (Registry.find_fast_exn x_name) ?rng:x_rng
+        ~capacity:x_capacity ()
+    in
+    let y =
+      Policy.instantiate_fast (Registry.find_fast_exn y_name) ?rng:y_rng
+        ~capacity:y_capacity ()
+    in
+    of_instances ?seed ?obs ~params ~x ~y ()

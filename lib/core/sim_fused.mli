@@ -1,0 +1,127 @@
+(** The fused, allocation-free replay core.
+
+    Same semantics as {!Simulation} — identical counter names, trace
+    events, event order, and {!Simulation.report} values for the same
+    (X, Y, seed) — but engineered for the hot path:
+
+    - policy outcomes travel as untagged ints
+      ({!Atp_paging.Policy.Fast}), never as [outcome] blocks;
+    - translation goes through {!Decoupled.translate_code}, never the
+      [translation] variant;
+    - the {!Make} functor specializes the inner loop per policy pair,
+      so X and Y are direct (inlinable) calls rather than closure
+      dispatch;
+    - trace chunks are consumed in place ([access_chunk]) — no
+      intermediate ref array.
+
+    Equivalence with the generic path is structural: the policies'
+    [access_fast] is the primitive that [access] is defined from, and
+    this module reuses [Simulation]'s exact obs layout.  The
+    differential suite additionally checks it end to end. *)
+
+type chunk = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+(** Structurally equal to [Atp_workloads.Trace.Stream.chunk] (this
+    library does not depend on workloads). *)
+
+(** Boxed view of a fused simulation, for heterogeneous callers: one
+    closure record per simulation, never per access. *)
+type fused = {
+  access : int -> unit;
+  access_array : int array -> int -> int -> unit;
+      (** [access_array refs pos len]. *)
+  access_chunk : chunk -> int -> int -> unit;
+      (** [access_chunk chunk pos len]: consume decoded refs in place. *)
+  report : unit -> Simulation.report;
+  reset_report : unit -> unit;
+  decoupled : Decoupled.t;
+}
+
+(** Specialize the replay loop for a concrete (X, Y) policy pair. *)
+module Make (X : Atp_paging.Policy.Fast) (Y : Atp_paging.Policy.Fast) : sig
+  type t
+
+  val create :
+    ?seed:int ->
+    ?obs:Atp_obs.Scope.t ->
+    params:Params.t ->
+    x:X.t ->
+    y:Y.t ->
+    unit ->
+    t
+  (** Mirrors {!Simulation.create}: [x]'s capacity is the TLB entry
+      count, [y]'s capacity must not exceed [Params.usable_pages].
+
+      @raise Invalid_argument if [y]'s capacity exceeds the budget. *)
+
+  val decoupled : t -> Decoupled.t
+
+  val access : t -> int -> unit
+
+  val access_array : t -> int array -> int -> int -> unit
+
+  val access_chunk : t -> chunk -> int -> int -> unit
+
+  val report : t -> Simulation.report
+
+  val reset_report : t -> unit
+
+  val run : ?warmup:int array -> t -> int array -> Simulation.report
+
+  val fused : t -> fused
+end
+
+val of_instances :
+  ?seed:int ->
+  ?obs:Atp_obs.Scope.t ->
+  params:Params.t ->
+  x:Atp_paging.Policy.instance ->
+  y:Atp_paging.Policy.instance ->
+  unit ->
+  fused
+(** Generic fallback for policies without a {!Make} specialization:
+    dispatches through the instances' [access_fast] closures — two
+    indirect calls per access, but still free of outcome boxing.
+
+    @raise Invalid_argument if the Y capacity exceeds the page budget,
+      or later from the returned [access_array]/[access_chunk] on an
+      out-of-bounds range. *)
+
+val run_fused : ?warmup:int array -> fused -> int array -> Simulation.report
+(** [Simulation.run], over the boxed view. *)
+
+val specialized_pairs : (string * string) list
+(** The (x_name, y_name) pairs {!specialized} has a functor
+    instantiation for; anything else returns [None]. *)
+
+val specialized :
+  ?seed:int ->
+  ?obs:Atp_obs.Scope.t ->
+  params:Params.t ->
+  x_name:string ->
+  x_capacity:int ->
+  ?x_rng:Atp_util.Prng.t ->
+  y_name:string ->
+  y_capacity:int ->
+  ?y_rng:Atp_util.Prng.t ->
+  unit ->
+  fused option
+(** The functor-specialized pairs available by name: {lru, fifo, 2q} ×
+    {lru, fifo, 2q} minus (fifo, 2q) and (2q, fifo).  [None] when the
+    pair has no specialization. *)
+
+val for_names :
+  ?seed:int ->
+  ?obs:Atp_obs.Scope.t ->
+  params:Params.t ->
+  x_name:string ->
+  x_capacity:int ->
+  ?x_rng:Atp_util.Prng.t ->
+  y_name:string ->
+  y_capacity:int ->
+  ?y_rng:Atp_util.Prng.t ->
+  unit ->
+  fused
+(** {!specialized} when available, else {!of_instances} over
+    {!Atp_paging.Registry.find_fast_exn}.
+
+    @raise Invalid_argument on an unknown policy name. *)

@@ -22,7 +22,6 @@ type t = {
   d : Decoupled.t;
   x : Policy.instance;
   y : Policy.instance;
-  h_max : int;
   failures_at_reset : int ref;
   tr : Obs.Trace.t;
   c_accesses : Obs.Counter.t;
@@ -46,7 +45,6 @@ let create ?seed ?obs ~params ~x ~y () =
     d;
     x;
     y;
-    h_max = Decoupled.h_max d;
     failures_at_reset = ref 0;
     tr = Obs.Scope.tracer obs;
     c_accesses = Obs.Scope.counter obs "accesses";
@@ -63,7 +61,7 @@ let decoupled t = t.d
    when that huge page is TLB-covered, the materialized entry must be
    refreshed too — the ψ-update cost the SMP model charges IPIs for. *)
 let note_psi_update t page =
-  let u = page / t.h_max in
+  let u = Decoupled.huge_of t.d page in
   if Decoupled.tlb_mem t.d u then begin
     Obs.Counter.incr t.c_psi_updates;
     Obs.Trace.record t.tr Obs.Event.Psi_update page u
@@ -71,7 +69,7 @@ let note_psi_update t page =
 
 let access t page =
   Obs.Counter.incr t.c_accesses;
-  let u = page / t.h_max in
+  let u = Decoupled.huge_of t.d page in
   (* TLB side: Z's TLB mirrors X's content on the stream r(σ). *)
   (match t.x.Policy.access u with
    | Policy.Hit -> Obs.Trace.record t.tr Obs.Event.Tlb_hit u 0
@@ -95,7 +93,7 @@ let access t page =
         Decoupled.ram_evict t.d victim;
         note_psi_update t victim
       | None -> ());
-     ignore (Decoupled.ram_insert t.d page : Alloc.location);
+     Decoupled.ram_insert t.d page;
      note_psi_update t page);
   (* Translate. The huge page is covered and the page is active, so
      the only non-frame answer is a decoding miss from a paging

@@ -95,7 +95,7 @@ let access t ~core page =
       | Some victim ->
         Decoupled.ram_evict t.d victim;
         notify_remote_holders victim);
-     ignore (Decoupled.ram_insert t.d page : Alloc.location);
+     Decoupled.ram_insert t.d page;
      notify_remote_holders page);
   match Decoupled.translate t.d page with
   | Decoupled.Frame _ -> ()

@@ -91,6 +91,55 @@ let source_of_workload w ~n =
       Some (w.Workload.next ())
     end
 
+(* Fill-based sources: the fused replay path pulls whole blocks into a
+   caller buffer instead of paying an option allocation per ref. *)
+type block_source = int array -> int -> int -> int
+
+let block_of_source (s : source) : block_source =
+ fun dst pos len ->
+  if pos < 0 || len < 0 || pos + len > Array.length dst then
+    invalid_arg "Engine.block_of_source";
+  let n = ref 0 in
+  let eof = ref false in
+  while !n < len && not !eof do
+    match s () with
+    | Some page ->
+      Array.unsafe_set dst (pos + !n) page;
+      incr n
+    | None -> eof := true
+  done;
+  !n
+
+let block_source_of_array trace : block_source =
+  let consumed = ref 0 in
+  fun dst pos len ->
+    if pos < 0 || len < 0 || pos + len > Array.length dst then
+      invalid_arg "Engine.block_source_of_array";
+    let k = min len (Array.length trace - !consumed) in
+    Array.blit trace !consumed dst pos k;
+    consumed := !consumed + k;
+    k
+
+let block_source_of_workload w ~n : block_source =
+  if n < 0 then invalid_arg "Engine.block_source_of_workload: negative n";
+  let left = ref n in
+  fun dst pos len ->
+    if pos < 0 || len < 0 || pos + len > Array.length dst then
+      invalid_arg "Engine.block_source_of_workload";
+    let k = min len !left in
+    for i = pos to pos + k - 1 do
+      Array.unsafe_set dst i (w.Workload.next ())
+    done;
+    left := !left - k;
+    k
+
+let block_source_of_stream path : block_source =
+  let r = Trace.Stream.open_reader path in
+  fun dst pos len ->
+    let k = Trace.Stream.read_into r dst pos len in
+    if k < len then Trace.Stream.close_reader r;
+    k
+
 (* The rolling warm-up history: the last [warmup] references consumed
    from the source, in order, so each epoch can be prefixed with the
    window that precedes it in the stream. *)
@@ -189,3 +238,82 @@ let replay_sequential ?obs ~make_sim source =
   done;
   Obs.Counter.incr c_epochs;
   add_report empty_totals (Simulation.report sim) ~warmup_len:0
+
+(* --- the fused paths ---------------------------------------------- *)
+
+let pull_epoch_block ~config ~history (bsource : block_source) =
+  let pre = History.window history ~warmup:config.warmup in
+  let buf = Array.make config.epoch_len 0 in
+  let n = bsource buf 0 config.epoch_len in
+  if n = 0 then None
+  else begin
+    for i = 0 to n - 1 do
+      History.push history (Array.unsafe_get buf i)
+    done;
+    Some { pre; refs = (if n = config.epoch_len then buf else Array.sub buf 0 n) }
+  end
+
+let rec pull_batch_block ~config ~history bsource k acc =
+  if k = 0 then List.rev acc
+  else
+    match pull_epoch_block ~config ~history bsource with
+    | None -> List.rev acc
+    | Some e -> pull_batch_block ~config ~history bsource (k - 1) (e :: acc)
+
+let replay_fused ?obs ?clock ~config ~make_fused (bsource : block_source) =
+  validate_config config;
+  let obs = match obs with Some o -> o | None -> Obs.Scope.null () in
+  let clock = match clock with Some f -> f | None -> fun () -> 0. in
+  let c_epochs = Obs.Scope.counter obs "epochs"
+  and c_warmup = Obs.Scope.counter obs "warmup_discarded"
+  and c_merge_ns = Obs.Scope.counter obs "merge_ns" in
+  let history = History.create config.warmup in
+  let totals = ref empty_totals in
+  let finished = ref false in
+  while not !finished do
+    match pull_batch_block ~config ~history bsource config.shards [] with
+    | [] -> finished := true
+    | batch ->
+      let reports =
+        Parallel.map ?domains:config.domains
+          (fun e ->
+            let f = make_fused () in
+            (Sim_fused.run_fused ~warmup:e.pre f e.refs, Array.length e.pre))
+          batch
+      in
+      let t0 = clock () in
+      List.iter
+        (fun (r, warmup_len) ->
+          totals := add_report !totals r ~warmup_len;
+          Obs.Counter.incr c_epochs;
+          Obs.Counter.add c_warmup warmup_len)
+        reports;
+      Obs.Counter.add c_merge_ns (int_of_float ((clock () -. t0) *. 1e9))
+  done;
+  !totals
+
+let sequential_block_len = 1 lsl 16
+
+let replay_sequential_fused ?obs ~make_fused (bsource : block_source) =
+  let obs = match obs with Some o -> o | None -> Obs.Scope.null () in
+  let c_epochs = Obs.Scope.counter obs "epochs" in
+  let f : Sim_fused.fused = make_fused () in
+  let buf = Array.make sequential_block_len 0 in
+  let eof = ref false in
+  while not !eof do
+    let n = bsource buf 0 sequential_block_len in
+    if n = 0 then eof := true else f.Sim_fused.access_array buf 0 n
+  done;
+  Obs.Counter.incr c_epochs;
+  add_report empty_totals (f.Sim_fused.report ()) ~warmup_len:0
+
+let replay_stream_fused ?obs ~make_fused path =
+  let obs = match obs with Some o -> o | None -> Obs.Scope.null () in
+  let c_epochs = Obs.Scope.counter obs "epochs" in
+  let f : Sim_fused.fused = make_fused () in
+  Trace.Stream.with_reader path (fun r ->
+      Trace.Stream.fold_chunks
+        (fun () chunk n -> f.Sim_fused.access_chunk chunk 0 n)
+        () r);
+  Obs.Counter.incr c_epochs;
+  add_report empty_totals (f.Sim_fused.report ()) ~warmup_len:0

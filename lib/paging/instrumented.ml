@@ -56,6 +56,18 @@ module Make (P : Policy.S) = struct
   let resident t = P.resident t.inner
 end
 
+let record_fast m page f =
+  Obs.Counter.incr m.c_accesses;
+  if Policy.fast_is_hit f then Obs.Counter.incr m.c_hits
+  else begin
+    Obs.Counter.incr m.c_misses;
+    let victim = Policy.fast_evicted f in
+    if victim >= 0 then begin
+      Obs.Counter.incr m.c_evictions;
+      Obs.Trace.record m.tr Obs.Event.Eviction victim page
+    end
+  end
+
 let wrap ~obs (inst : Policy.instance) =
   let m = metrics_of obs in
   {
@@ -65,4 +77,9 @@ let wrap ~obs (inst : Policy.instance) =
         let outcome = inst.Policy.access page in
         record m page outcome;
         outcome);
+    Policy.access_fast =
+      (fun page ->
+        let f = inst.Policy.access_fast page in
+        record_fast m page f;
+        f);
   }

@@ -12,25 +12,31 @@ let capacity t = Slots.capacity t.slots
 
 let size t = Slots.size t.slots
 
-let mem t page = Slots.slot_of_page t.slots page <> None
+let mem t page = Slots.find_slot t.slots page >= 0
 
-let access t page =
-  match Slots.slot_of_page t.slots page with
-  | Some slot ->
+(* The allocation-free primitive; [access] is its boxed view, so the
+   two paths share one state evolution by construction. *)
+let access_fast t page =
+  let slot = Slots.find_slot t.slots page in
+  if slot >= 0 then begin
     Lru_list.move_to_front t.order slot;
-    Policy.Hit
-  | None ->
+    Policy.fast_hit
+  end
+  else begin
     let evicted =
       if Slots.is_full t.slots then begin
-        match Lru_list.pop_back t.order with
-        | None -> assert false
-        | Some victim_slot -> Some (Slots.release t.slots victim_slot)
+        let victim_slot = Lru_list.take_back t.order in
+        if victim_slot < 0 then assert false;
+        Slots.release t.slots victim_slot
       end
-      else None
+      else Policy.fast_miss_free
     in
     let slot = Slots.alloc t.slots page in
     Lru_list.push_front t.order slot;
-    Policy.Miss { evicted }
+    evicted
+  end
+
+let access t page = Policy.outcome_of_fast (access_fast t page)
 
 let remove t page =
   match Slots.slot_of_page t.slots page with

@@ -101,6 +101,7 @@ let instance ~capacity trace =
     size = (fun () -> size t);
     mem = (fun page -> mem t page);
     access = (fun page -> access t page);
+    access_fast = (fun page -> Policy.fast_of_outcome (access t page));
     remove = (fun page -> remove t page);
     resident = (fun () -> resident t);
   }

@@ -2,6 +2,31 @@ type outcome =
   | Hit
   | Miss of { evicted : int option }
 
+(* The allocation-free outcome encoding for hot loops: page ids are
+   non-negative throughout the simulator, so the two non-eviction
+   cases fit below zero and an eviction is the victim page itself. *)
+
+let fast_hit = -1
+
+let fast_miss_free = -2
+
+let[@inline] fast_is_hit f = f = fast_hit
+
+let[@inline] fast_is_miss f = f <> fast_hit
+
+let[@inline] fast_evicted f = if f >= 0 then f else -1
+
+let outcome_of_fast f =
+  if f = fast_hit then Hit
+  else if f = fast_miss_free then Miss { evicted = None }
+  else if f >= 0 then Miss { evicted = Some f }
+  else invalid_arg "Policy.outcome_of_fast: bad encoding"
+
+let fast_of_outcome = function
+  | Hit -> fast_hit
+  | Miss { evicted = None } -> fast_miss_free
+  | Miss { evicted = Some victim } -> victim
+
 module type S = sig
   type t
 
@@ -15,17 +40,30 @@ module type S = sig
   val resident : t -> int list
 end
 
+module type Fast = sig
+  include S
+
+  val access_fast : t -> int -> int
+end
+
+module Fast_of (P : S) : Fast with type t = P.t = struct
+  include P
+
+  let access_fast t page = fast_of_outcome (P.access t page)
+end
+
 type instance = {
   name : string;
   capacity : int;
   size : unit -> int;
   mem : int -> bool;
   access : int -> outcome;
+  access_fast : int -> int;
   remove : int -> bool;
   resident : unit -> int list;
 }
 
-let instantiate (module P : S) ?rng ~capacity () =
+let instantiate_fast (module P : Fast) ?rng ~capacity () =
   let state = P.create ?rng ~capacity () in
   {
     name = P.name;
@@ -33,9 +71,12 @@ let instantiate (module P : S) ?rng ~capacity () =
     size = (fun () -> P.size state);
     mem = (fun page -> P.mem state page);
     access = (fun page -> P.access state page);
+    access_fast = (fun page -> P.access_fast state page);
     remove = (fun page -> P.remove state page);
     resident = (fun () -> P.resident state);
   }
+
+let instantiate (module P : S) = instantiate_fast (module Fast_of (P) : Fast)
 
 let evicted = function
   | Hit -> None

@@ -12,6 +12,30 @@ type outcome =
   | Miss of { evicted : int option }
       (** [evicted = None] when a free slot absorbed the fill. *)
 
+(** {2 The allocation-free outcome encoding}
+
+    Hot loops cannot afford an [outcome] block (plus an option) per
+    access.  Page ids are non-negative throughout the simulator, so an
+    access result fits in one untagged int: {!fast_hit} ([-1]),
+    {!fast_miss_free} ([-2], a free slot absorbed the fill), or the
+    evicted page itself ([>= 0]). *)
+
+val fast_hit : int
+
+val fast_miss_free : int
+
+val fast_is_hit : int -> bool
+
+val fast_is_miss : int -> bool
+
+val fast_evicted : int -> int
+(** The evicted page, or [-1] on a hit or free fill. *)
+
+val outcome_of_fast : int -> outcome
+(** @raise Invalid_argument on an int below [-2]. *)
+
+val fast_of_outcome : outcome -> int
+
 (** What every policy implementation provides. *)
 module type S = sig
   type t
@@ -41,6 +65,23 @@ module type S = sig
   (** Unordered list of resident pages. *)
 end
 
+(** A policy that additionally exposes the allocation-free access
+    primitive.  [access_fast] must be behaviorally identical to
+    [access] (same state evolution, outcomes related by
+    {!fast_of_outcome}); the differential suite checks this for every
+    registered policy. *)
+module type Fast = sig
+  include S
+
+  val access_fast : t -> int -> int
+  (** {!fast_hit}, {!fast_miss_free}, or the evicted page. *)
+end
+
+(** Derive the fast interface from any policy by encoding the boxed
+    outcome — the generic fallback for policies without a native
+    allocation-free path. *)
+module Fast_of (P : S) : Fast with type t = P.t
+
 (** A policy instance with its state captured, for heterogeneous
     collections (the experiment driver sweeps over policies). *)
 type instance = {
@@ -49,12 +90,21 @@ type instance = {
   size : unit -> int;
   mem : int -> bool;
   access : int -> outcome;
+  access_fast : int -> int;
+      (** Same state evolution as [access], encoded per
+          {!fast_of_outcome}. *)
   remove : int -> bool;
   resident : unit -> int list;
 }
 
 val instantiate :
   (module S) -> ?rng:Atp_util.Prng.t -> capacity:int -> unit -> instance
+(** [access_fast] goes through {!Fast_of}, i.e. it still allocates
+    internally; use {!instantiate_fast} with a native {!Fast} policy
+    for the allocation-free path. *)
+
+val instantiate_fast :
+  (module Fast) -> ?rng:Atp_util.Prng.t -> capacity:int -> unit -> instance
 
 val evicted : outcome -> int option
 (** [None] on a hit or free fill. *)

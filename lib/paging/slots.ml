@@ -28,6 +28,8 @@ let is_full t = t.free_top = 0
 
 let slot_of_page t page = Int_table.find t.index page
 
+let[@inline] find_slot t page = Int_table.find_or t.index page (-1)
+
 let page_of_slot t slot =
   let page = t.pages.(slot) in
   if page = no_page then invalid_arg "Slots.page_of_slot: free slot";

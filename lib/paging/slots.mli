@@ -17,6 +17,10 @@ val is_full : t -> bool
 
 val slot_of_page : t -> int -> int option
 
+val find_slot : t -> int -> int
+(** [slot_of_page] without the option: the slot holding the page, or
+    [-1] when absent — the allocation-free lookup for hot paths. *)
+
 val page_of_slot : t -> int -> int
 (** Raises [Invalid_argument] if the slot is free.
 

@@ -35,38 +35,44 @@ let mem t page = Page_list.mem t.a1in page || Page_list.mem t.am page
 (* Free one resident slot, returning the evicted page. *)
 let reclaim t =
   if Page_list.length t.a1in > t.kin || Page_list.is_empty t.am then begin
-    match Page_list.pop_back t.a1in with
-    | None ->
-      (* a1in empty and am empty cannot happen when the cache is full. *)
-      assert false
-    | Some victim ->
-      if Page_list.length t.a1out >= t.kout then ignore (Page_list.pop_back t.a1out);
-      Page_list.push_front t.a1out victim;
-      victim
+    let victim = Page_list.take_back t.a1in in
+    (* a1in empty and am empty cannot happen when the cache is full. *)
+    if victim < 0 then assert false;
+    if Page_list.length t.a1out >= t.kout then
+      ignore (Page_list.take_back t.a1out : int);
+    Page_list.push_front t.a1out victim;
+    victim
   end
-  else
-    match Page_list.pop_back t.am with
-    | None -> assert false
-    | Some victim -> victim
+  else begin
+    let victim = Page_list.take_back t.am in
+    if victim < 0 then assert false;
+    victim
+  end
 
-let access t page =
+(* The allocation-free primitive; [access] is its boxed view, so the
+   two paths share one state evolution by construction. *)
+let access_fast t page =
   if Page_list.mem t.am page then begin
     Page_list.move_to_front t.am page;
-    Policy.Hit
+    Policy.fast_hit
   end
   else if Page_list.mem t.a1in page then
     (* Still in probation: a hit, but no promotion. *)
-    Policy.Hit
+    Policy.fast_hit
   else begin
-    let evicted = if size t >= t.capacity then Some (reclaim t) else None in
+    let evicted =
+      if size t >= t.capacity then reclaim t else Policy.fast_miss_free
+    in
     if Page_list.mem t.a1out page then begin
       (* Re-reference after probation: promote into the main queue. *)
       ignore (Page_list.remove t.a1out page);
       Page_list.push_front t.am page
     end
     else Page_list.push_front t.a1in page;
-    Policy.Miss { evicted }
+    evicted
   end
+
+let access t page = Policy.outcome_of_fast (access_fast t page)
 
 let remove t page =
   Page_list.remove t.a1in page || Page_list.remove t.am page

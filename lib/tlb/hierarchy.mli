@@ -28,6 +28,27 @@ val create : ?config:config -> ?obs:Atp_obs.Scope.t -> unit -> 'a t
 
 val lookup : 'a t -> int -> 'a option * outcome
 
+type chunk = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+(** Structurally [Atp_workloads.Trace.Stream.chunk] (this library does
+    not depend on workloads). *)
+
+type batch_result = {
+  l1_hits : int;
+  l2_hits : int;
+  batch_misses : int;
+  batch_cycles : int;
+}
+
+val lookup_batch :
+  'a t -> ?on_miss:(int -> unit) -> chunk -> int -> int -> batch_result
+(** [lookup_batch t chunk pos len]: probe [len] keys of a decoded
+    chunk with a branch-lean inner loop — the L1-hit iteration
+    allocates nothing.  Counter, histogram, cycle, and refill effects
+    are identical to [len] scalar {!lookup} calls; [on_miss] runs for
+    each key absent from both levels (the caller decides what to walk
+    and fill, as with the scalar miss).
+    @raise Invalid_argument on a bad range. *)
+
 val insert : 'a t -> int -> 'a -> unit
 (** Fill both levels (as a page walk completion does). *)
 

@@ -63,6 +63,24 @@ let lookup t key =
     None
   end
 
+(* The allocation-free lookup: same counters, trace events, and
+   recency effect as [lookup], but no payload option.  The policy call
+   happens only on a confirmed hit, so it can never insert. *)
+let[@atplint.hot] probe_fast t key =
+  Obs.Counter.incr t.c_lookups;
+  if t.policy.Policy.mem key then begin
+    if not (Policy.fast_is_hit (t.policy.Policy.access_fast key)) then
+      assert false;
+    Obs.Counter.incr t.c_hits;
+    Obs.Trace.record t.tr Obs.Event.Tlb_hit key 0;
+    true
+  end
+  else begin
+    Obs.Counter.incr t.c_misses;
+    Obs.Trace.record t.tr Obs.Event.Tlb_miss key 0;
+    false
+  end
+
 let insert t key payload =
   let evicted =
     match t.policy.Policy.access key with

@@ -46,6 +46,11 @@ val lookup : 'a t -> int -> 'a option
     A miss does {e not} insert — the caller decides what translation to
     load (and pays ε). *)
 
+val probe_fast : 'a t -> int -> bool
+(** Allocation-free [lookup]: same counters, trace events, and recency
+    effect, but reports only presence — no payload option.  The batch
+    lookup paths are built on this. *)
+
 val peek : 'a t -> int -> 'a option
 (** Read without touching recency or stats. *)
 

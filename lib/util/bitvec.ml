@@ -47,13 +47,27 @@ let iter_set f t =
     if get t i then f i
   done
 
+(* Allocation-free scan: whole 0xFF bytes are skipped, and the result
+   is an index (-1 when full) rather than an option — this runs on
+   every frame allocation.  The scan loops live at the top level so no
+   closure is built per call. *)
+let[@atplint.hot] rec fc_bit w b i =
+  if b land (1 lsl i) = 0 then (w lsl 3) + i else fc_bit w b (i + 1)
+
+let[@atplint.hot] rec fc_word words nwords w =
+  if w >= nwords then -1
+  else begin
+    let b = Char.code (Bytes.unsafe_get words w) in
+    if b = 0xFF then fc_word words nwords (w + 1) else fc_bit w b 0
+  end
+
+let[@atplint.hot] first_clear_index t =
+  let i = fc_word t.words (Bytes.length t.words) 0 in
+  if i < t.length then i else -1
+
 let first_clear t =
-  let rec loop i =
-    if i >= t.length then None
-    else if not (get t i) then Some i
-    else loop (i + 1)
-  in
-  loop 0
+  let i = first_clear_index t in
+  if i < 0 then None else Some i
 
 let fill t v =
   let byte = if v then '\255' else '\000' in

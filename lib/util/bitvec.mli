@@ -29,6 +29,10 @@ val iter_set : (int -> unit) -> t -> unit
 val first_clear : t -> int option
 (** Lowest clear bit, if any. *)
 
+val first_clear_index : t -> int
+(** [first_clear] without the option: the index of the first clear
+    bit, or [-1] when every bit is set. *)
+
 val fill : t -> bool -> unit
 (** Set every bit to the given value. *)
 

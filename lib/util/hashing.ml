@@ -5,9 +5,17 @@ let mix64 z =
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
   Int64.logxor z (Int64.shift_right_logical z 31)
 
-let hash ~seed x =
-  let h = mix64 (Int64.add (Int64.of_int x) (Int64.mul (Int64.of_int seed) 0x9E3779B97F4A7C15L)) in
-  Int64.to_int (Int64.shift_right_logical h 2)
+(* Native-int variant of the same avalanche structure, with the
+   multiplicative constants truncated to fit the 63-bit int.  Boxed
+   Int64 arithmetic heap-allocates every intermediate without flambda,
+   and [hash] sits on the replay hot path (one decode per access, k
+   placement probes per miss), so the mixer must stay in registers. *)
+let[@inline] mix x =
+  let x = (x lxor (x lsr 30)) * 0x3F58476D1CE4E5B9 in
+  let x = (x lxor (x lsr 27)) * 0x14D049BB133111EB in
+  x lxor (x lsr 31)
+
+let[@inline] hash ~seed x = mix (x + (seed * 0x1E3779B97F4A7C15)) land max_int
 
 let hash_in ~seed n x =
   if n <= 0 then invalid_arg "Hashing.hash_in: empty range";

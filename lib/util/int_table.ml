@@ -27,10 +27,16 @@ let slot_of t key = (key * 0x2545F4914F6CDD1D) land max_int land t.mask
 let check_key key =
   if key < 0 then invalid_arg "Int_table: keys must be non-negative"
 
-let rec probe t key i =
-  let k = t.keys.(i) in
-  if k = empty_key then (i, false)
-  else if k = key then (i, true)
+(* The probe result is one untagged int — the key's slot when found,
+   [lnot slot] of the first empty slot when absent (always negative) —
+   because a [(slot, found)] tuple would heap-allocate on every table
+   operation without flambda, and these tables back every hot
+   structure in the simulator.  Indices are pre-masked, so the unsafe
+   array accesses cannot go out of bounds. *)
+let[@atplint.hot] rec probe t key i =
+  let k = Array.unsafe_get t.keys i in
+  if k = key then i
+  else if k = empty_key then lnot i
   else probe t key ((i + 1) land t.mask)
 
 let grow t =
@@ -43,7 +49,7 @@ let grow t =
   Array.iteri
     (fun i k ->
       if k <> empty_key then begin
-        let j, _ = probe t k (slot_of t k) in
+        let j = lnot (probe t k (slot_of t k)) in
         t.keys.(j) <- k;
         t.values.(j) <- old_values.(i);
         t.size <- t.size + 1
@@ -54,71 +60,99 @@ let maybe_grow t =
   (* Keep load below 0.75. *)
   if 4 * (t.size + 1) > 3 * (t.mask + 1) then grow t
 
-let mem t key =
+let[@atplint.hot] mem t key =
   check_key key;
-  let _, found = probe t key (slot_of t key) in
-  found
+  probe t key (slot_of t key) >= 0
 
 let find t key =
   check_key key;
-  let i, found = probe t key (slot_of t key) in
-  if found then Some t.values.(i) else None
+  let i = probe t key (slot_of t key) in
+  if i >= 0 then Some (Array.unsafe_get t.values i) else None
 
 let find_exn t key =
   check_key key;
-  let i, found = probe t key (slot_of t key) in
-  if found then t.values.(i) else raise Not_found
+  let i = probe t key (slot_of t key) in
+  if i >= 0 then Array.unsafe_get t.values i else raise Not_found
 
-let set t key value =
+let[@inline] [@atplint.hot] find_or t key default =
+  check_key key;
+  let i = probe t key (slot_of t key) in
+  if i >= 0 then Array.unsafe_get t.values i else default
+
+let[@atplint.hot] set t key value =
   check_key key;
   maybe_grow t;
-  let i, found = probe t key (slot_of t key) in
-  t.keys.(i) <- key;
-  t.values.(i) <- value;
-  if not found then t.size <- t.size + 1
+  let i = probe t key (slot_of t key) in
+  if i >= 0 then Array.unsafe_set t.values i value
+  else begin
+    let j = lnot i in
+    Array.unsafe_set t.keys j key;
+    Array.unsafe_set t.values j value;
+    t.size <- t.size + 1
+  end
+
+(* One probe for a read-modify-write of a counter cell: add [delta]
+   to the stored value (inserting [delta] if absent) and return the
+   new value. *)
+let[@atplint.hot] incr_by t key delta =
+  check_key key;
+  maybe_grow t;
+  let i = probe t key (slot_of t key) in
+  if i >= 0 then begin
+    let v = Array.unsafe_get t.values i + delta in
+    Array.unsafe_set t.values i v;
+    v
+  end
+  else begin
+    let j = lnot i in
+    Array.unsafe_set t.keys j key;
+    Array.unsafe_set t.values j delta;
+    t.size <- t.size + 1;
+    delta
+  end
 
 let add_if_absent t key value =
   check_key key;
   maybe_grow t;
-  let i, found = probe t key (slot_of t key) in
-  if found then false
+  let i = probe t key (slot_of t key) in
+  if i >= 0 then false
   else begin
-    t.keys.(i) <- key;
-    t.values.(i) <- value;
+    let j = lnot i in
+    Array.unsafe_set t.keys j key;
+    Array.unsafe_set t.values j value;
     t.size <- t.size + 1;
     true
   end
 
+(* Can a key homed at [home] legally live at [lo]?  Yes iff home is
+   cyclically outside (lo, hi]. *)
+let[@inline] cyclically_between lo x hi =
+  if lo <= hi then lo < x && x <= hi else lo < x || x <= hi
+
+let[@atplint.hot] rec shift_back t gap j =
+  let k = t.keys.(j) in
+  if k = empty_key then ()
+  else begin
+    let home = slot_of t k in
+    if cyclically_between gap home j then shift_back t gap ((j + 1) land t.mask)
+    else begin
+      t.keys.(gap) <- k;
+      t.values.(gap) <- t.values.(j);
+      t.keys.(j) <- empty_key;
+      shift_back t j ((j + 1) land t.mask)
+    end
+  end
+
 (* Backward-shift deletion: re-home the cluster that follows the freed
    slot so probe chains never break. *)
-let remove t key =
+let[@atplint.hot] remove t key =
   check_key key;
-  let i, found = probe t key (slot_of t key) in
-  if not found then false
+  let i = probe t key (slot_of t key) in
+  if i < 0 then false
   else begin
     t.keys.(i) <- empty_key;
     t.size <- t.size - 1;
-    let rec shift gap j =
-      let k = t.keys.(j) in
-      if k = empty_key then ()
-      else begin
-        let home = slot_of t k in
-        (* Can k legally live at [gap]?  Yes iff home is cyclically
-           outside (gap, j]. *)
-        let between lo x hi =
-          if lo <= hi then lo < x && x <= hi
-          else lo < x || x <= hi
-        in
-        if between gap home j then shift gap ((j + 1) land t.mask)
-        else begin
-          t.keys.(gap) <- k;
-          t.values.(gap) <- t.values.(j);
-          t.keys.(j) <- empty_key;
-          shift j ((j + 1) land t.mask)
-        end
-      end
-    in
-    shift i ((i + 1) land t.mask);
+    shift_back t i ((i + 1) land t.mask);
     true
   end
 
@@ -158,10 +192,12 @@ module Poly = struct
   let check_key key =
     if key < 0 then invalid_arg "Int_table.Poly: keys must be non-negative"
 
-  let rec probe t key i =
-    let k = t.keys.(i) in
-    if k = empty_key then (i, false)
-    else if k = key then (i, true)
+  (* Same single-int probe convention as the flat table: slot when
+     found, [lnot slot] of the first empty slot when absent. *)
+  let[@atplint.hot] rec probe t key i =
+    let k = Array.unsafe_get t.keys i in
+    if k = key then i
+    else if k = empty_key then lnot i
     else probe t key ((i + 1) land t.mask)
 
   let grow t =
@@ -176,7 +212,7 @@ module Poly = struct
     Array.iteri
       (fun i k ->
         if k <> empty_key then begin
-          let j, _ = probe t k (slot_of t k) in
+          let j = lnot (probe t k (slot_of t k)) in
           t.keys.(j) <- k;
           t.values.(j) <- old_values.(i);
           t.size <- t.size + 1
@@ -185,57 +221,62 @@ module Poly = struct
 
   let maybe_grow t = if 4 * (t.size + 1) > 3 * (t.mask + 1) then grow t
 
-  let mem t key =
+  let[@atplint.hot] mem t key =
     check_key key;
-    let _, found = probe t key (slot_of t key) in
-    found
+    probe t key (slot_of t key) >= 0
 
   let find t key =
     check_key key;
-    let i, found = probe t key (slot_of t key) in
-    if found then Some t.values.(i) else None
+    let i = probe t key (slot_of t key) in
+    if i >= 0 then Some (Array.unsafe_get t.values i) else None
 
   let find_exn t key =
     check_key key;
-    let i, found = probe t key (slot_of t key) in
-    if found then t.values.(i) else raise Not_found
+    let i = probe t key (slot_of t key) in
+    if i >= 0 then Array.unsafe_get t.values i else raise Not_found
 
-  let set t key value =
+  let[@inline] [@atplint.hot] find_or t key default =
+    check_key key;
+    let i = probe t key (slot_of t key) in
+    if i >= 0 then Array.unsafe_get t.values i else default
+
+  let[@atplint.hot] set t key value =
     check_key key;
     maybe_grow t;
     if Array.length t.values = 0 then
       t.values <- Array.make (t.mask + 1) value;
-    let i, found = probe t key (slot_of t key) in
-    t.keys.(i) <- key;
-    t.values.(i) <- value;
-    if not found then t.size <- t.size + 1
+    let i = probe t key (slot_of t key) in
+    if i >= 0 then Array.unsafe_set t.values i value
+    else begin
+      let j = lnot i in
+      Array.unsafe_set t.keys j key;
+      Array.unsafe_set t.values j value;
+      t.size <- t.size + 1
+    end
 
-  let remove t key =
+  let[@atplint.hot] rec shift_back t gap j =
+    let k = t.keys.(j) in
+    if k = empty_key then ()
+    else begin
+      let home = slot_of t k in
+      if cyclically_between gap home j then
+        shift_back t gap ((j + 1) land t.mask)
+      else begin
+        t.keys.(gap) <- k;
+        t.values.(gap) <- t.values.(j);
+        t.keys.(j) <- empty_key;
+        shift_back t j ((j + 1) land t.mask)
+      end
+    end
+
+  let[@atplint.hot] remove t key =
     check_key key;
-    let i, found = probe t key (slot_of t key) in
-    if not found then false
+    let i = probe t key (slot_of t key) in
+    if i < 0 then false
     else begin
       t.keys.(i) <- empty_key;
       t.size <- t.size - 1;
-      let rec shift gap j =
-        let k = t.keys.(j) in
-        if k = empty_key then ()
-        else begin
-          let home = slot_of t k in
-          let between lo x hi =
-            if lo <= hi then lo < x && x <= hi
-            else lo < x || x <= hi
-          in
-          if between gap home j then shift gap ((j + 1) land t.mask)
-          else begin
-            t.keys.(gap) <- k;
-            t.values.(gap) <- t.values.(j);
-            t.keys.(j) <- empty_key;
-            shift j ((j + 1) land t.mask)
-          end
-        end
-      in
-      shift i ((i + 1) land t.mask);
+      shift_back t i ((i + 1) land t.mask);
       true
     end
 

@@ -19,8 +19,18 @@ val find : t -> int -> int option
 val find_exn : t -> int -> int
 (** Raises [Not_found]. *)
 
+val find_or : t -> int -> int -> int
+(** [find_or t key default] is the bound value, or [default] when the
+    key is absent — the allocation-free [find] for hot paths. *)
+
 val set : t -> int -> int -> unit
 (** Insert or overwrite. *)
+
+val incr_by : t -> int -> int -> int
+(** [incr_by t key delta] adds [delta] to the value stored for [key]
+    (treating an absent key as [0]) in a single probe and returns the
+    new value.  The entry remains even when the new value is [0];
+    callers that need absence semantics must {!remove} it. *)
 
 val add_if_absent : t -> int -> int -> bool
 (** Returns [true] if inserted, [false] if the key was present
@@ -57,6 +67,10 @@ module Poly : sig
 
   val find_exn : 'a t -> int -> 'a
   (** @raise Not_found when the key is absent. *)
+
+  val find_or : 'a t -> int -> 'a -> 'a
+  (** [find_or t key default] is the bound value, or [default] when
+      the key is absent — the allocation-free [find] for hot paths. *)
 
   val set : 'a t -> int -> 'a -> unit
   (** Insert or overwrite. *)

@@ -70,12 +70,17 @@ let front t =
 let back t =
   if t.length = 0 then None else Some t.prev.(t.sentinel)
 
-let pop_back t =
-  match back t with
-  | None -> None
-  | Some i ->
+let take_back t =
+  if t.length = 0 then -1
+  else begin
+    let i = t.prev.(t.sentinel) in
     remove t i;
-    Some i
+    i
+  end
+
+let pop_back t =
+  let i = take_back t in
+  if i < 0 then None else Some i
 
 let iter_front_to_back f t =
   let rec loop i =

@@ -51,6 +51,10 @@ val back : t -> int option
 val pop_back : t -> int option
 (** Remove and return the back node. *)
 
+val take_back : t -> int
+(** [pop_back] without the option: the unlinked back node id, or [-1]
+    when the list is empty — the allocation-free eviction primitive. *)
+
 val iter_front_to_back : (int -> unit) -> t -> unit
 
 val to_list : t -> int list

@@ -3,7 +3,12 @@
     Unlike {!Lru_list}, which links a fixed set of slot ids, this list
     holds arbitrary page numbers; it backs the ghost lists of ARC and
     2Q, where entries are addresses of pages that are {e not}
-    resident. *)
+    resident.
+
+    Nodes live in a recycled array pool, so steady-state operations
+    ([mem], [move_to_front], [take_front]/[take_back], [remove],
+    [push_*] onto a warm pool) allocate nothing; the pool doubles when
+    exhausted.  Page ids must be non-negative. *)
 
 type t
 
@@ -38,6 +43,14 @@ val back : t -> int option
 val pop_front : t -> int option
 
 val pop_back : t -> int option
+
+val take_front : t -> int
+(** [pop_front] without the option: the removed page, or [-1] when
+    empty — the allocation-free form for hot paths. *)
+
+val take_back : t -> int
+(** [pop_back] without the option: the removed page, or [-1] when
+    empty — the allocation-free form for hot paths. *)
 
 val to_list : t -> int list
 (** Front-to-back. *)

@@ -1,0 +1,12 @@
+(* Violates hot-path-alloc: per-call tuple/option/list/closure
+   allocation inside function bodies of a hot-tagged file. *)
+
+[@@@atplint.hot]
+
+let minmax a b = if a < b then (a, b) else (b, a)
+
+let find_slot free slot = if free then Some slot else None
+
+let push x xs = x :: xs
+
+let scaled xs k = List.map (fun x -> x * k) xs

@@ -1,0 +1,7 @@
+val minmax : int -> int -> int * int
+
+val find_slot : bool -> int -> int option
+
+val push : int -> int list -> int list
+
+val scaled : int list -> int -> int list

@@ -1,0 +1,17 @@
+(* Clean under hot-path-alloc: packed-int returns, curried parameters,
+   module-initialization allocation, untagged code, and the
+   [@atplint.allow] escape hatch. *)
+
+(* Module initialization runs once per program, not per call. *)
+let[@atplint.hot] defaults = [ 1; 2; 3 ]
+
+let[@atplint.hot] pack hi lo = (hi lsl 16) lor lo
+
+(* A curried-parameter chain is not a per-call closure. *)
+let[@atplint.hot] weighted w x y = (w * x) + ((100 - w) * y)
+
+(* Constructor-time allocation, explicitly waived. *)
+let[@atplint.hot] [@atplint.allow "hot-path-alloc"] boxed x = Some x
+
+(* Untagged code in an untagged file is out of the rule's reach. *)
+let untagged_pair a b = (a, b)

@@ -1,0 +1,9 @@
+val defaults : int list
+
+val pack : int -> int -> int
+
+val weighted : int -> int -> int -> int
+
+val boxed : int -> int option
+
+val untagged_pair : int -> int -> int * int

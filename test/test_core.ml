@@ -265,11 +265,12 @@ let test_decoupled_translation_flow () =
   Decoupled.tlb_add d u;
   check Alcotest.bool "covered but absent -> fault" true
     (Decoupled.translate d v = Decoupled.Decode_fault);
-  (match Decoupled.ram_insert d v with
-   | Alloc.Placed { frame; _ } ->
+  Decoupled.ram_insert d v;
+  (match Alloc.location_of (Decoupled.alloc d) v with
+   | Some (Alloc.Placed { frame; _ }) ->
      check Alcotest.bool "frame translation" true
        (Decoupled.translate d v = Decoupled.Frame frame)
-   | Alloc.Fallback _ -> Alcotest.fail "unexpected failure");
+   | Some (Alloc.Fallback _) | None -> Alcotest.fail "unexpected failure");
   Decoupled.ram_evict d v;
   check Alcotest.bool "fault after eviction" true
     (Decoupled.translate d v = Decoupled.Decode_fault);

@@ -1,0 +1,371 @@
+(* The fused replay core must be a pure speedup: byte-identical
+   reports and obs snapshots against the generic paths it specializes,
+   for every policy pair, workload shape, and shard count — plus
+   round-trip laws for the zero-copy chunk visitor it is built on. *)
+
+open Atp_util
+open Atp_core
+open Atp_paging
+open Atp_workloads
+module Obs = Atp_obs
+module Engine = Atp_engine.Engine
+
+let check = Alcotest.check
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let report : Simulation.report Alcotest.testable =
+  Alcotest.testable
+    (fun ppf (r : Simulation.report) ->
+      Format.fprintf ppf
+        "{accesses=%d; ios=%d; tlb_fills=%d; decoding_misses=%d; \
+         failures=%d; max_bucket_load=%d}"
+        r.Simulation.accesses r.ios r.tlb_fills r.decoding_misses
+        r.failures_total r.max_bucket_load)
+    ( = )
+
+let params = Params.derive ~p:(1 lsl 11) ~w:64 ()
+
+let traces =
+  let n = 30_000 in
+  [
+    ( "zipf-hot",
+      Workload.generate
+        (Simple.zipf ~s:1.0 ~virtual_pages:4_096 (Prng.create ~seed:31 ()))
+        n );
+    ( "zipf-stress",
+      Workload.generate
+        (Simple.zipf ~s:0.9 ~virtual_pages:(1 lsl 16) (Prng.create ~seed:32 ()))
+        n );
+    ( "graph-walk",
+      Workload.generate
+        (Graph_walk.create ~virtual_pages:8_192 (Prng.create ~seed:33 ()))
+        n );
+    ( "uniform",
+      Workload.generate
+        (Simple.uniform ~virtual_pages:2_048 (Prng.create ~seed:34 ()))
+        n );
+  ]
+
+(* Policy pairs: every functor-specialized combination the fast path
+   dispatches on, plus one pair that must take the [of_instances]
+   closure fallback. *)
+let pairs =
+  [
+    ("lru", "lru");
+    ("lru", "fifo");
+    ("fifo", "lru");
+    ("fifo", "fifo");
+    ("lru", "2q");
+    ("2q", "lru");
+    ("2q", "2q");
+    ("mru", "lru");
+    ("lru", "clock");
+  ]
+
+let generic_sim ?obs ~x_name ~y_name () =
+  let x =
+    Policy.instantiate_fast (Registry.find_fast_exn x_name)
+      ~rng:(Prng.create ~seed:11 ())
+      ~capacity:64 ()
+  in
+  let y =
+    Policy.instantiate_fast (Registry.find_fast_exn y_name)
+      ~rng:(Prng.create ~seed:13 ())
+      ~capacity:256 ()
+  in
+  Simulation.create ?obs ~seed:7 ~params ~x ~y ()
+
+let fused_sim ?obs ~x_name ~y_name () =
+  Sim_fused.for_names ?obs ~seed:7 ~params ~x_name ~x_capacity:64
+    ~x_rng:(Prng.create ~seed:11 ())
+    ~y_name ~y_capacity:256
+    ~y_rng:(Prng.create ~seed:13 ())
+    ()
+
+(* --- fused = generic: reports and obs snapshots --------------------- *)
+
+let test_fused_matches_generic () =
+  List.iter
+    (fun (x_name, y_name) ->
+      List.iter
+        (fun (wname, trace) ->
+          let reg_g = Obs.Registry.create () in
+          let z = generic_sim ~obs:(Obs.Scope.v reg_g) ~x_name ~y_name () in
+          let r_gen = Simulation.run z trace in
+          let reg_f = Obs.Registry.create () in
+          let f = fused_sim ~obs:(Obs.Scope.v reg_f) ~x_name ~y_name () in
+          let r_fus = Sim_fused.run_fused f trace in
+          let label =
+            Printf.sprintf "%s/%s on %s" x_name y_name wname
+          in
+          check report label r_gen r_fus;
+          check Alcotest.string (label ^ " (obs snapshot)")
+            (Obs.Registry.snapshot_string reg_g)
+            (Obs.Registry.snapshot_string reg_f))
+        traces)
+    pairs
+
+let test_fused_matches_generic_with_warmup () =
+  let warmup, trace =
+    match traces with
+    | (_, w) :: (_, t) :: _ -> (w, t)
+    | _ -> assert false
+  in
+  List.iter
+    (fun (x_name, y_name) ->
+      let z = generic_sim ~x_name ~y_name () in
+      let r_gen = Simulation.run ~warmup z trace in
+      let f = fused_sim ~x_name ~y_name () in
+      let r_fus = Sim_fused.run_fused ~warmup f trace in
+      check report
+        (Printf.sprintf "%s/%s with warmup" x_name y_name)
+        r_gen r_fus)
+    [ ("lru", "lru"); ("2q", "lru"); ("mru", "lru") ]
+
+(* The specialized dispatcher must actually specialize the advertised
+   pairs and decline the rest. *)
+let test_specialized_coverage () =
+  let spec x_name y_name =
+    Sim_fused.specialized ~seed:7 ~params ~x_name ~x_capacity:64 ~y_name
+      ~y_capacity:256 ()
+  in
+  List.iter
+    (fun (x_name, y_name) ->
+      let expect_some = List.mem (x_name, y_name) Sim_fused.specialized_pairs in
+      check Alcotest.bool
+        (Printf.sprintf "specialized %s/%s" x_name y_name)
+        expect_some
+        (Option.is_some (spec x_name y_name)))
+    (pairs @ [ ("clock", "mru") ])
+
+(* --- sharded engine replay: fused = generic, all shard counts ------- *)
+
+let test_engine_fused_matches_generic () =
+  let trace = List.assoc "zipf-stress" traces in
+  let path = Filename.temp_file "atp_test_fused" ".atps" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Trace.Stream.with_writer path (fun w ->
+          Array.iter (Trace.Stream.push w) trace);
+      let make_sim () = generic_sim ~x_name:"lru" ~y_name:"lru" () in
+      let make_fused () = fused_sim ~x_name:"lru" ~y_name:"lru" () in
+      let seq = Engine.replay_sequential ~make_sim (Trace.Stream.source path) in
+      let seq_fused = Engine.replay_stream_fused ~make_fused path in
+      check Alcotest.bool "sequential fused = sequential generic" true
+        (seq = seq_fused);
+      let seq_blocks =
+        Engine.replay_sequential_fused ~make_fused
+          (Engine.block_source_of_stream path)
+      in
+      check Alcotest.bool "block-sequential fused = sequential generic" true
+        (seq = seq_blocks);
+      List.iter
+        (fun shards ->
+          let config =
+            { Engine.shards; epoch_len = 4_096; warmup = 4_096; domains = None }
+          in
+          let gen =
+            Engine.replay ~config ~make_sim (Trace.Stream.source path)
+          in
+          let fus =
+            Engine.replay_fused ~config ~make_fused
+              (Engine.block_source_of_stream path)
+          in
+          check Alcotest.bool
+            (Printf.sprintf "sharded fused = sharded generic (shards=%d)"
+               shards)
+            true (gen = fus))
+        [ 1; 2; 4 ])
+
+(* --- access_fast = access for every registered policy --------------- *)
+
+let prop_access_fast_equals_access =
+  QCheck.Test.make ~count:60
+    ~name:"access_fast mirrors access for every registry policy"
+    QCheck.(
+      triple (int_range 1 24) (int_range 2 60)
+        (list_of_size Gen.(int_range 1 300) (int_bound 1000)))
+    (fun (capacity, universe, pages) ->
+      let trace = List.map (fun p -> p mod universe) pages in
+      List.for_all
+        (fun name ->
+          let fresh () =
+            Policy.instantiate_fast (Registry.find_fast_exn name)
+              ~rng:(Prng.create ~seed:5 ())
+              ~capacity ()
+          in
+          let boxed = fresh () and fast = fresh () in
+          List.for_all
+            (fun page ->
+              boxed.Policy.access page
+              = Policy.outcome_of_fast (fast.Policy.access_fast page))
+            trace)
+        Registry.names)
+
+(* --- chunk visitor round-trips -------------------------------------- *)
+
+let with_stream pages chunk_size f =
+  let path = Filename.temp_file "atp_test_chunks" ".atps" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Trace.Stream.with_writer ~chunk_size path (fun w ->
+          List.iter (Trace.Stream.push w) pages);
+      Trace.Stream.with_reader path f)
+
+let prop_fold_chunks_roundtrip =
+  QCheck.Test.make ~count:80 ~name:"fold_chunks concatenates to the trace"
+    QCheck.(
+      pair (int_range 1 17)
+        (list_of_size Gen.(int_range 0 300) (int_bound 10_000)))
+    (fun (chunk_size, pages) ->
+      let got =
+        with_stream pages chunk_size (fun r ->
+            Trace.Stream.fold_chunks
+              (fun acc buf n ->
+                let acc = ref acc in
+                for i = 0 to n - 1 do
+                  acc := Bigarray.Array1.get buf i :: !acc
+                done;
+                !acc)
+              [] r)
+      in
+      List.rev got = pages)
+
+let prop_read_into_roundtrip =
+  QCheck.Test.make ~count:80
+    ~name:"read_into reassembles the trace for any block pattern"
+    QCheck.(
+      triple (int_range 1 17) (int_range 1 23)
+        (list_of_size Gen.(int_range 0 300) (int_bound 10_000)))
+    (fun (chunk_size, block, pages) ->
+      let n = List.length pages in
+      let got =
+        with_stream pages chunk_size (fun r ->
+            let dst = Array.make (max n 1) (-1) in
+            let rec pull pos =
+              if pos >= n then pos
+              else begin
+                let want = min block (n - pos) in
+                let got = Trace.Stream.read_into r dst pos want in
+                if got = 0 then pos else pull (pos + got)
+              end
+            in
+            let filled = pull 0 in
+            Array.sub dst 0 filled
+        )
+      in
+      Array.to_list got = pages)
+
+let prop_read_into_agrees_with_next_chunk =
+  QCheck.Test.make ~count:60
+    ~name:"read_into drains exactly what next_chunk would"
+    QCheck.(
+      pair (int_range 1 13)
+        (list_of_size Gen.(int_range 0 200) (int_bound 10_000)))
+    (fun (chunk_size, pages) ->
+      let via_chunks =
+        with_stream pages chunk_size (fun r ->
+            let rec go acc =
+              match Trace.Stream.next_chunk r with
+              | None -> List.concat (List.rev acc)
+              | Some c ->
+                let l = ref [] in
+                for i = Bigarray.Array1.dim c - 1 downto 0 do
+                  l := Bigarray.Array1.get c i :: !l
+                done;
+                go (!l :: acc)
+            in
+            go [])
+      in
+      via_chunks = pages)
+
+(* --- batched TLB hierarchy probe = scalar lookups ------------------- *)
+
+let hierarchy_stats h =
+  ( Atp_tlb.Hierarchy.lookups h,
+    Atp_tlb.Hierarchy.total_cycles h,
+    Atp_tlb.Hierarchy.l1_stats h,
+    Atp_tlb.Hierarchy.l2_stats h )
+
+let prop_lookup_batch_equals_scalar =
+  QCheck.Test.make ~count:60 ~name:"Hierarchy.lookup_batch = scalar lookups"
+    QCheck.(
+      pair (int_range 1 40)
+        (list_of_size Gen.(int_range 1 400) (int_bound 200)))
+    (fun (universe, keys) ->
+      let keys = List.map (fun k -> k mod universe) keys in
+      let config =
+        { Atp_tlb.Hierarchy.l1_entries = 4;
+          l2_entries = 16;
+          l1_latency = 1;
+          l2_latency = 7;
+        }
+      in
+      (* Scalar reference: lookup, walk + insert on miss. *)
+      let hs = Atp_tlb.Hierarchy.create ~config () in
+      let scalar_misses = ref 0 in
+      List.iter
+        (fun key ->
+          match Atp_tlb.Hierarchy.lookup hs key with
+          | Some _, _ -> ()
+          | None, _ ->
+            incr scalar_misses;
+            Atp_tlb.Hierarchy.insert hs key (key * 3))
+        keys;
+      (* Batched path over the same keys in one chunk. *)
+      let hb = Atp_tlb.Hierarchy.create ~config () in
+      let chunk =
+        Bigarray.Array1.create Bigarray.int Bigarray.c_layout
+          (List.length keys)
+      in
+      List.iteri (fun i k -> Bigarray.Array1.set chunk i k) keys;
+      (* Feed block by block so refills interleave as in the scalar
+         run; batch misses must walk-and-insert just like the scalar
+         loop for the states to stay identical. *)
+      let batch_misses = ref 0 in
+      let n = Bigarray.Array1.dim chunk in
+      let block = 7 in
+      let rec go pos =
+        if pos < n then begin
+          let len = min block (n - pos) in
+          let r =
+            Atp_tlb.Hierarchy.lookup_batch hb
+              ~on_miss:(fun key ->
+                incr batch_misses;
+                Atp_tlb.Hierarchy.insert hb key (key * 3))
+              chunk pos len
+          in
+          ignore (r : Atp_tlb.Hierarchy.batch_result);
+          go (pos + len)
+        end
+      in
+      go 0;
+      !scalar_misses = !batch_misses && hierarchy_stats hs = hierarchy_stats hb)
+
+let () =
+  Alcotest.run "fused"
+    [
+      ( "differential",
+        [
+          Alcotest.test_case "fused = generic (reports + obs)" `Quick
+            test_fused_matches_generic;
+          Alcotest.test_case "fused = generic under warmup" `Quick
+            test_fused_matches_generic_with_warmup;
+          Alcotest.test_case "specialized pair coverage" `Quick
+            test_specialized_coverage;
+          Alcotest.test_case "engine sharded fused = generic" `Quick
+            test_engine_fused_matches_generic;
+        ] );
+      ("access_fast", qsuite [ prop_access_fast_equals_access ]);
+      ( "chunks",
+        qsuite
+          [
+            prop_fold_chunks_roundtrip;
+            prop_read_into_roundtrip;
+            prop_read_into_agrees_with_next_chunk;
+          ] );
+      ("tlb-batch", qsuite [ prop_lookup_batch_equals_scalar ]);
+    ]

@@ -33,6 +33,14 @@ let all_rules =
       scopes = [ "lib/tlb/"; "lib/paging/"; "lib/memsim/" ];
     };
     {
+      name = "hot-path-alloc";
+      summary =
+        "no per-call tuple/option/list construction or closure allocation \
+         in hot-tagged code ([@@@atplint.hot] files or [@atplint.hot] \
+         bindings)";
+      scopes = [ "lib/" ];
+    };
+    {
       name = "no-poly-compare";
       summary =
         "no polymorphic =, <>, compare, min, max at non-immediate types";
@@ -66,6 +74,10 @@ type ctx = {
   mutable stack : string list list;  (* [@atplint.allow] scopes *)
   mutable file_allows : string list; (* [@@@atplint.allow] *)
   mutable current_top : string option; (* enclosing top-level binding *)
+  hot_file : bool;  (* file carries [@@@atplint.hot] *)
+  mutable hot_binding : bool;  (* inside a [@atplint.hot] binding *)
+  mutable fun_depth : int;  (* nesting depth of function bodies *)
+  mutable fun_chain : bool;  (* directly under a fun (curried params) *)
   (* exported value name -> interface file lacking an @raise for it *)
   exported_undoc : (string, string) Hashtbl.t;
   mutable diags : Diagnostic.t list;
@@ -102,6 +114,11 @@ let allow_payload (attr : Parsetree.attribute) =
     | _ -> None
 
 let allows_of_attributes attrs = List.filter_map allow_payload attrs
+
+let has_hot_attr (attrs : Parsetree.attributes) =
+  List.exists
+    (fun (a : Parsetree.attribute) -> a.attr_name.txt = "atplint.hot")
+    attrs
 
 let with_allows ctx attrs f =
   match allows_of_attributes attrs with
@@ -270,6 +287,50 @@ let check_obs_naming ctx (e : expression) =
       args
   | _ -> ()
 
+(* --- rule: hot-path-alloc ------------------------------------------ *)
+
+(* Fires only inside function bodies ([fun_depth >= 1]) of hot-tagged
+   code: module-initialization allocations (constant tables, dispatch
+   lists) are once-per-program and exempt.  Closure allocation is
+   detected in the iterator itself, where curried-parameter chains can
+   be told apart from closures built per call. *)
+let hot_scope ctx = ctx.hot_file || ctx.hot_binding
+
+(* Format-string literals elaborate to CamlinternalFormatBasics
+   constructors; they are compiler-generated, not per-access data. *)
+let is_format_constructor (cd : Types.constructor_description) =
+  match Types.get_desc cd.Types.cstr_res with
+  | Tconstr (p, _, _) ->
+    let name = Path.name p in
+    let prefix = "CamlinternalFormat" in
+    String.length name >= String.length prefix
+    && String.sub name 0 (String.length prefix) = prefix
+  | _ -> false
+
+let check_hot_alloc ctx (e : expression) =
+  if hot_scope ctx && ctx.fun_depth >= 1 then
+    match e.exp_desc with
+    | Texp_tuple _ ->
+      emit ctx ~rule:"hot-path-alloc" ~loc:e.exp_loc
+        "tuple allocated per call on a hot path; return a packed int or \
+         write into reused scratch state"
+    | Texp_construct (_, cd, _ :: _) when not (is_format_constructor cd) ->
+      let what =
+        match cd.Types.cstr_name with
+        | "Some" -> "an option (Some)"
+        | "::" -> "a list cell"
+        | name -> Printf.sprintf "boxed constructor %s" name
+      in
+      emit ctx ~rule:"hot-path-alloc" ~loc:e.exp_loc
+        (Printf.sprintf
+           "%s allocated per call on a hot path; use a sentinel or \
+            packed-int encoding" what)
+    | Texp_variant (_, Some _) ->
+      emit ctx ~rule:"hot-path-alloc" ~loc:e.exp_loc
+        "polymorphic variant allocated per call on a hot path; use a \
+         sentinel or packed-int encoding"
+    | _ -> ()
+
 (* --- the iterator ------------------------------------------------- *)
 
 let env_of (e : expression) =
@@ -285,10 +346,34 @@ let make_iterator ctx =
     check_poly_compare ctx env e;
     check_exception_contract ctx e;
     check_obs_naming ctx e;
-    default.expr sub e
+    check_hot_alloc ctx e;
+    match e.exp_desc with
+    | Texp_function _ ->
+      (* A fun nested in a function body allocates a closure per call —
+         unless it is just the next curried parameter of the enclosing
+         fun ([fun_chain]). *)
+      if hot_scope ctx && ctx.fun_depth >= 1 && not ctx.fun_chain then
+        emit ctx ~rule:"hot-path-alloc" ~loc:e.exp_loc
+          "closure allocated per call on a hot path; hoist it to the top \
+           level or specialize via a functor";
+      let saved_chain = ctx.fun_chain and saved_depth = ctx.fun_depth in
+      ctx.fun_chain <- true;
+      ctx.fun_depth <- ctx.fun_depth + 1;
+      default.expr sub e;
+      ctx.fun_chain <- saved_chain;
+      ctx.fun_depth <- saved_depth
+    | _ ->
+      let saved_chain = ctx.fun_chain in
+      ctx.fun_chain <- false;
+      default.expr sub e;
+      ctx.fun_chain <- saved_chain
   in
   let value_binding sub (vb : value_binding) =
-    with_allows ctx vb.vb_attributes @@ fun () -> default.value_binding sub vb
+    with_allows ctx vb.vb_attributes @@ fun () ->
+    let saved = ctx.hot_binding in
+    if has_hot_attr vb.vb_attributes then ctx.hot_binding <- true;
+    default.value_binding sub vb;
+    ctx.hot_binding <- saved
   in
   let structure_item sub (item : structure_item) =
     match item.str_desc with
@@ -317,6 +402,14 @@ let collect_file_allows (str : structure) =
       | _ -> [])
     str.str_items
 
+let file_is_hot (str : structure) =
+  List.exists
+    (fun item ->
+      match item.str_desc with
+      | Tstr_attribute a -> a.attr_name.txt = "atplint.hot"
+      | _ -> false)
+    str.str_items
+
 let run ~cfg ~file ~active ~exported_undoc ~mli_missing (str : structure) =
   let ctx =
     {
@@ -326,6 +419,10 @@ let run ~cfg ~file ~active ~exported_undoc ~mli_missing (str : structure) =
       stack = [];
       file_allows = collect_file_allows str;
       current_top = None;
+      hot_file = file_is_hot str;
+      hot_binding = false;
+      fun_depth = 0;
+      fun_chain = false;
       exported_undoc;
       diags = [];
     }

@@ -1,0 +1,164 @@
+(* bench_compare: diff a fresh BENCH_<experiment>.json row stream
+   against a committed baseline and fail on regressions beyond a
+   tolerance.
+
+     bench_compare [--tolerance T] [--field F] [--lower-is-better]
+       BASELINE FRESH
+
+   Rows are matched by task key; within a matched pair every numeric
+   leaf of the row's [data] object is compared (restricted to leaves
+   named F when --field is given).  With the default higher-is-better
+   orientation a fresh value below [baseline * (1 - T)] is a
+   regression; --lower-is-better flips the test for ns/op-style data.
+   Tasks or fields present in the baseline but missing from the fresh
+   run fail the comparison; extra fresh tasks are reported and
+   ignored.
+
+   The committed baselines record ratio fields (the engine bench's
+   [speedup] is wall-clock relative to the same machine's sequential
+   replay), so CI compares those rather than machine-dependent ns/op.
+
+   Exit codes: 0 within tolerance, 1 regression or missing data,
+   2 usage or I/O error. *)
+
+module Json = Atp_obs.Json
+module Schema = Atp_exp.Schema
+
+let tolerance = ref 0.25
+let field = ref ""
+let lower_is_better = ref false
+let positional = ref []
+
+let usage =
+  "bench_compare [--tolerance T] [--field F] [--lower-is-better] \
+   BASELINE FRESH"
+
+let args =
+  [
+    ( "--tolerance",
+      Arg.Set_float tolerance,
+      "T relative regression allowed before failing (default 0.25)" );
+    ( "--field",
+      Arg.Set_string field,
+      "F compare only data leaves with this name (default: all numeric \
+       leaves)" );
+    ( "--lower-is-better",
+      Arg.Set lower_is_better,
+      " treat larger fresh values as regressions (ns/op-style data)" );
+  ]
+
+let fatal fmt =
+  Printf.ksprintf
+    (fun s ->
+      prerr_endline ("bench_compare: " ^ s);
+      exit 2)
+    fmt
+
+let read_lines path =
+  let ic = try open_in path with Sys_error msg -> fatal "%s" msg in
+  let rec go acc =
+    match input_line ic with
+    | line -> go (if String.trim line = "" then acc else line :: acc)
+    | exception End_of_file -> List.rev acc
+  in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> go [])
+
+(* task key -> data object of its ok row, in stream order. *)
+let ok_rows path =
+  (match Schema.validate_file path with
+  | Ok _ -> ()
+  | Error msg -> fatal "%s: %s" path msg);
+  List.filter_map
+    (fun line ->
+      match Json.of_string line with
+      | Error msg -> fatal "%s: unparseable row: %s" path msg
+      | Ok json ->
+        if not (Schema.is_row json) then None
+        else if Schema.status_of_row json <> Some "ok" then None
+        else
+          Option.bind (Schema.task_of_row json) (fun task ->
+              Option.map (fun data -> (task, data)) (Schema.data_of_row json)))
+    (read_lines path)
+
+(* Numeric leaves of a data object as (dotted path, value), in object
+   order; non-numeric leaves are skipped. *)
+let rec numeric_leaves prefix json =
+  match json with
+  | Json.Obj fields ->
+    List.concat_map
+      (fun (k, v) ->
+        let path = if prefix = "" then k else prefix ^ "." ^ k in
+        numeric_leaves path v)
+      fields
+  | _ -> (
+    match Json.as_float json with
+    | Some v -> [ (prefix, v) ]
+    | None -> [])
+
+let leaf_name path =
+  match String.rindex_opt path '.' with
+  | Some i -> String.sub path (i + 1) (String.length path - i - 1)
+  | None -> path
+
+let () =
+  Arg.parse args (fun p -> positional := p :: !positional) usage;
+  let baseline_path, fresh_path =
+    match List.rev !positional with
+    | [ b; f ] -> (b, f)
+    | _ ->
+      prerr_endline ("usage: " ^ usage);
+      exit 2
+  in
+  let baseline = ok_rows baseline_path in
+  let fresh = ok_rows fresh_path in
+  let failed = ref false in
+  let compared = ref 0 in
+  let fail fmt =
+    Printf.ksprintf
+      (fun s ->
+        failed := true;
+        print_endline s)
+      fmt
+  in
+  List.iter
+    (fun (task, base_data) ->
+      match List.assoc_opt task fresh with
+      | None -> fail "%s: MISSING from fresh run" task
+      | Some fresh_data ->
+        let fresh_leaves = numeric_leaves "" fresh_data in
+        List.iter
+          (fun (path, base_v) ->
+            if !field = "" || leaf_name path = !field then
+              match List.assoc_opt path fresh_leaves with
+              | None -> fail "%s %s: MISSING from fresh run" task path
+              | Some fresh_v ->
+                incr compared;
+                if base_v <= 0. then
+                  Printf.printf "%s %s: baseline %g not positive; skipped\n"
+                    task path base_v
+                else begin
+                  let delta = (fresh_v -. base_v) /. base_v in
+                  let regressed =
+                    if !lower_is_better then delta > !tolerance
+                    else delta < -. !tolerance
+                  in
+                  if regressed then
+                    fail "%s %s: REGRESSION %g -> %g (%+.1f%% vs %.0f%% allowed)"
+                      task path base_v fresh_v (100. *. delta)
+                      (100. *. !tolerance)
+                  else
+                    Printf.printf "%s %s: ok %g -> %g (%+.1f%%)\n" task path
+                      base_v fresh_v (100. *. delta)
+                end)
+          (numeric_leaves "" base_data))
+    baseline;
+  List.iter
+    (fun (task, _) ->
+      if not (List.mem_assoc task baseline) then
+        Printf.printf "%s: not in baseline; ignored\n" task)
+    fresh;
+  if !compared = 0 && not !failed then
+    fatal "no comparable fields (field filter %S matched nothing)" !field;
+  Printf.printf "bench_compare: %d field(s) compared, %s\n" !compared
+    (if !failed then "FAILED" else "within tolerance");
+  exit (if !failed then 1 else 0)
