@@ -401,7 +401,8 @@ let decoupled_cmd =
         | Some path when stream -> (
           match Trace.format_of_file path with
           | Trace.Streamed -> Trace.Stream.source path
-          | Trace.Text | Trace.Binary ->
+          | Trace.Text | Trace.Binary | Trace.Hex ->
+            (* Hex refuses inside load with an import pointer. *)
             Engine.source_of_array (Trace.load path))
         | Some path -> Engine.source_of_array (Trace.load path)
         | None ->
@@ -476,8 +477,8 @@ let decoupled_cmd =
 (* ------------------------------------------------------------------ *)
 
 let policies_cmd =
-  let run workload vpages accesses warmup seed capacity =
-    let wl = mk_workload workload ~vpages ~seed in
+  let run workload vpages accesses warmup seed capacity trace_file =
+    let wl = mk_workload ?trace_file workload ~vpages ~seed in
     let warmup_trace = Workload.generate wl warmup in
     let trace = Workload.generate wl accesses in
     Format.printf "%-10s %14s %14s %12s@." "policy" "hits" "misses" "miss rate";
@@ -502,7 +503,8 @@ let policies_cmd =
       $ seed_arg
       $ Arg.(
           value & opt int 4096
-          & info [ "capacity" ] ~docv:"PAGES" ~doc:"Cache capacity in pages."))
+          & info [ "capacity" ] ~docv:"PAGES" ~doc:"Cache capacity in pages.")
+      $ trace_file_arg)
 
 (* ------------------------------------------------------------------ *)
 (* ballsbins                                                           *)
@@ -637,7 +639,7 @@ let trace_cat_cmd =
     in
     (match Trace.format_of_file src with
     | Trace.Streamed -> Trace.Stream.iter emit src
-    | Trace.Text | Trace.Binary -> Array.iter emit (Trace.load src));
+    | Trace.Text | Trace.Binary | Trace.Hex -> Array.iter emit (Trace.load src));
     flush stdout
   in
   Cmd.v
@@ -658,6 +660,10 @@ let trace_info_cmd =
     | Trace.Streamed ->
       Format.printf "%a@." pp_stream_header
         (Trace.Stream.with_reader src Trace.Stream.header)
+    | Trace.Hex ->
+      Format.printf
+        "format=hex (external address trace; convert with `atsim trace \
+         import`)@."
     | (Trace.Text | Trace.Binary) as f ->
       Format.printf "format=%a %a@." Trace.pp_format f Trace.pp_summary
         (Trace.summarize (Trace.load src)));
@@ -686,11 +692,122 @@ let trace_info_cmd =
           & info [ "hex" ] ~docv:"BYTES"
               ~doc:"Also hex-dump the first $(docv) bytes of the file."))
 
+(* trace import: external address traces -> ATPS page traces.  The
+   importers stream line-by-line into the chunked writer, so a capture
+   of any size converts in constant memory. *)
+
+let import_format_conv =
+  Arg.enum
+    [
+      ("auto", None);
+      ("hex", Some Import.Hex);
+      ("lackey", Some Import.Lackey);
+      ("csv", Some Import.Csv);
+    ]
+
+let trace_import_cmd =
+  let run src dst format page_bits limit dedup no_instr column radix skip_header
+      chunk =
+    let config =
+      {
+        Import.page_bits;
+        limit;
+        dedup_consecutive = dedup;
+        drop_instr = no_instr;
+        csv = { Import.column; radix; skip_header };
+      }
+    in
+    let format =
+      match format with
+      | Some f -> f
+      | None -> (
+        match Import.sniff src with
+        | `Import f -> f
+        | `Native f ->
+          Format.eprintf
+            "atsim: %s is already a native %a trace; use `atsim trace pack`@."
+            src Trace.pp_format f;
+          exit 2)
+    in
+    let stats =
+      try Import.import_file ~chunk_size:chunk ~config ~format ~src ~dst ()
+      with Trace.Parse_error { path; what } ->
+        Format.eprintf "atsim: %s: %s@." path what;
+        exit 2
+    in
+    Format.printf "imported %s -> %s: format=%a page_bits=%d %a@." src dst
+      Import.pp_format format page_bits Import.pp_stats stats;
+    Format.printf "%a@." pp_stream_header
+      (Trace.Stream.with_reader dst Trace.Stream.header)
+  in
+  Cmd.v
+    (Cmd.info "import"
+       ~doc:
+         "Convert an external memory trace (hex address-per-line, valgrind \
+          lackey output, or CSV) into the streamed ATPS page-trace format, \
+          shifting addresses to virtual page numbers; the conversion streams \
+          and never materializes the trace.")
+    Term.(
+      const run $ src_pos_arg
+      $ Arg.(
+          required
+          & pos 1 (some string) None
+          & info [] ~docv:"DST" ~doc:"Output path (ATPS).")
+      $ Arg.(
+          value
+          & opt import_format_conv None
+          & info [ "format" ] ~docv:"FMT"
+              ~doc:
+                "Source format: auto | hex | lackey | csv (auto sniffs the \
+                 content; digit-only files are ambiguous, force hex for \
+                 those).")
+      $ Arg.(
+          value & opt int 12
+          & info [ "page-bits" ] ~docv:"BITS"
+              ~doc:"Address-to-VPN shift (12 = 4 KiB pages).")
+      $ Arg.(
+          value
+          & opt (some int) None
+          & info [ "limit" ] ~docv:"N"
+              ~doc:"Stop after $(docv) imported references.")
+      $ Arg.(
+          value & flag
+          & info [ "dedup-consecutive" ]
+              ~doc:
+                "Drop a reference that repeats the previously emitted page \
+                 (collapses same-page runs of sub-page-stride accesses).")
+      $ Arg.(
+          value & flag
+          & info [ "no-instr" ]
+              ~doc:"Lackey: drop instruction-fetch (I) records.")
+      $ Arg.(
+          value & opt int 1
+          & info [ "column" ] ~docv:"N"
+              ~doc:"CSV: 1-based index of the address column.")
+      $ Arg.(
+          value
+          & opt (Arg.enum [ ("hex", Import.Hexadecimal); ("dec", Import.Decimal) ])
+              Import.Hexadecimal
+          & info [ "radix" ] ~docv:"RADIX"
+              ~doc:"CSV: radix of the address column (hex | dec).")
+      $ Arg.(
+          value & flag
+          & info [ "skip-header" ] ~doc:"CSV: skip the first line of the file.")
+      $ chunk_arg)
+
 let trace_cmd =
   Cmd.group
     (Cmd.info "trace"
-       ~doc:"Generate, pack, print, and inspect page-reference trace files.")
-    [ trace_gen_cmd; trace_pack_cmd; trace_cat_cmd; trace_info_cmd ]
+       ~doc:
+         "Generate, pack, import, print, and inspect page-reference trace \
+          files.")
+    [
+      trace_gen_cmd;
+      trace_pack_cmd;
+      trace_import_cmd;
+      trace_cat_cmd;
+      trace_info_cmd;
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* mrc                                                                 *)
@@ -789,10 +906,14 @@ let compare_cmd =
 let () =
   let doc = "Paging and the address-translation problem: simulators and schemes" in
   let info = Cmd.info "atsim" ~version:"1.0.0" ~doc in
+  (* A malformed trace file is a user error, not an internal one: any
+     Parse_error that escapes a subcommand exits like a CLI usage
+     failure instead of cmdliner's uncaught-exception report. *)
   exit
-    (Cmd.eval
-       (Cmd.group info
-          [
+    (try
+       Cmd.eval ~catch:false
+         (Cmd.group info
+            [
             params_cmd;
             sweep_cmd;
             decoupled_cmd;
@@ -802,4 +923,15 @@ let () =
             mrc_cmd;
             thp_cmd;
             compare_cmd;
-          ]))
+          ])
+     with
+     | Trace.Parse_error { path; what } ->
+       Format.eprintf "atsim: %s: %s@." path what;
+       2
+     | e ->
+       (* mirror cmdliner's default uncaught-exception report *)
+       let bt = Printexc.get_raw_backtrace () in
+       Format.eprintf "atsim: internal error, uncaught exception:@.%s@.%s@."
+         (Printexc.to_string e)
+         (Printexc.raw_backtrace_to_string bt);
+       125)

@@ -106,11 +106,16 @@ let save_binary path trace =
       write_u64 oc (Array.length trace);
       Array.iter (fun page -> write_u64 oc page) trace)
 
-(* Body of an ATPT file, the magic already consumed. *)
+(* Body of an ATPT file, the magic already consumed.  The declared
+   count is validated against the file size before the array is
+   sized: a corrupt count must fail as a parse error, not as a
+   multi-gigabyte allocation. *)
 let load_binary_body path ic =
   match read_u64 ic with
   | exception End_of_file -> parse_error path "truncated header"
   | n ->
+    if n < 0 || n > in_channel_length ic / 8 then
+      parse_error path "declared count %d exceeds file size" n;
     (try Array.init n (fun _ -> read_u64 ic)
      with End_of_file -> parse_error path "truncated body")
 
@@ -265,12 +270,20 @@ module Stream = struct
       parse_error path "unreasonable chunk_size %d" chunk_size;
     let length = read_u64_or path "header" ic in
     if length < 0 then parse_error path "bad length %d" length;
+    (* Every reference occupies at least one payload byte, so a sane
+       declared length never exceeds the file size; checking it (and
+       sizing the chunk buffers by [min chunk_size length]) keeps a
+       corrupt header from provoking an allocation far larger than
+       the file itself. *)
+    if length > in_channel_length ic then
+      parse_error path "declared length %d exceeds file size" length;
+    let dim = max 1 (min chunk_size length) in
     {
       r_ic = ic;
       r_path = path;
       r_header = { version = v; chunk_size; length };
-      r_buf = Bigarray.Array1.create Bigarray.int Bigarray.c_layout chunk_size;
-      r_raw = Bytes.create (chunk_size * max_varint_bytes);
+      r_buf = Bigarray.Array1.create Bigarray.int Bigarray.c_layout dim;
+      r_raw = Bytes.create (dim * max_varint_bytes);
       r_consumed = 0;
       r_len = 0;
       r_pos = 0;
@@ -441,34 +454,132 @@ end
 (* Format dispatch                                                     *)
 (* ------------------------------------------------------------------ *)
 
-type format = Text | Binary | Streamed
+type format = Text | Binary | Streamed | Hex
 
 let pp_format ppf f =
   Format.pp_print_string ppf
-    (match f with Text -> "text" | Binary -> "binary" | Streamed -> "streamed")
+    (match f with
+    | Text -> "text"
+    | Binary -> "binary"
+    | Streamed -> "streamed"
+    | Hex -> "hex")
+
+(* External hex address traces (the classic one-address-per-line
+   `trace.tr`, lackey logs, CSVs) used to sniff as the decimal text
+   format: an all-digit hex address like "12345678" then parsed
+   {e silently} as decimal, and "0041f7a0" died with a confusing "bad
+   line".  The sniffer now also inspects the first content lines of a
+   non-magic file; address-shaped lines (hex letters, an 0x prefix,
+   extra columns, commas, lackey records) classify it as [Hex], which
+   {!load} refuses with a pointer at `atsim trace import`.  A file of
+   bare digit-only single-column lines is genuinely ambiguous and
+   stays [Text]. *)
+
+let probe_bytes = 4096
+
+let is_dec_token s =
+  let len = String.length s in
+  let start = if len > 0 && s.[0] = '-' then 1 else 0 in
+  len > start
+  &&
+  let ok = ref true in
+  for i = start to len - 1 do
+    match s.[i] with '0' .. '9' -> () | _ -> ok := false
+  done;
+  !ok
+
+let is_hex_token s =
+  let start =
+    if String.length s > 2 && s.[0] = '0' && (s.[1] = 'x' || s.[1] = 'X') then 2
+    else 0
+  in
+  String.length s > start
+  &&
+  let ok = ref true in
+  for i = start to String.length s - 1 do
+    match s.[i] with '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> () | _ -> ok := false
+  done;
+  !ok
+
+(* One trimmed, nonempty, non-comment probe line: [`Dec] looks like
+   the native decimal format (keep scanning), [`Hexish] like an
+   external address record, [`Junk] like neither — stop and stay
+   [Text] so [load_text]'s own bad-line diagnostic fires. *)
+let classify_probe_line s =
+  let tok_end =
+    let i = ref 0 in
+    while
+      !i < String.length s && not (s.[!i] = ' ' || s.[!i] = '\t')
+    do
+      incr i
+    done;
+    !i
+  in
+  let tok = String.sub s 0 tok_end in
+  let multi = tok_end < String.length s in
+  match s.[0] with
+  | ('I' | 'L' | 'S' | 'M') when multi -> `Hexish
+  | _ ->
+    if String.contains s ',' then `Hexish
+    else if (not multi) && is_dec_token tok then `Dec
+    else if is_hex_token tok then `Hexish
+    else `Junk
+
+let text_probe_is_hex probe ~truncated =
+  let lines = String.split_on_char '\n' probe in
+  let lines =
+    (* The probe may have been cut mid-line; never judge the fragment. *)
+    if truncated then match List.rev lines with _ :: tl -> List.rev tl | [] -> []
+    else lines
+  in
+  let verdict = ref None in
+  let inspected = ref 0 in
+  List.iter
+    (fun l ->
+      let s = String.trim l in
+      if
+        Option.is_none !verdict
+        && !inspected < 16
+        && not (String.equal s "" || s.[0] = '#')
+      then begin
+        incr inspected;
+        match classify_probe_line s with
+        | `Dec -> ()
+        | `Hexish -> verdict := Some true
+        | `Junk -> verdict := Some false
+      end)
+    lines;
+  Option.value !verdict ~default:false
 
 (* One open, one sniff: read up to 4 bytes, dispatch on them, and for
-   text rewind so the sniffed bytes are parsed as content. *)
+   non-magic files inspect a bounded text probe before rewinding so
+   the sniffed bytes are parsed as content. *)
 let sniff_format ic =
-  let head =
-    let want = min 4 (in_channel_length ic) in
-    really_input_string ic want
-  in
+  let len = in_channel_length ic in
+  let head = really_input_string ic (min 4 len) in
   if String.equal head magic then Binary
   else if String.equal head Stream.magic then Streamed
   else begin
     seek_in ic 0;
-    Text
+    let probe = really_input_string ic (min probe_bytes len) in
+    seek_in ic 0;
+    if text_probe_is_hex probe ~truncated:(len > probe_bytes) then Hex else Text
   end
 
 let format_of_file path = with_in path sniff_format
+
+let hex_refusal path =
+  parse_error path
+    "looks like a hex address trace, not a decimal page trace; convert it \
+     with `atsim trace import --page-bits N` first"
 
 let load path =
   with_in path (fun ic ->
       match sniff_format ic with
       | Binary -> load_binary_body path ic
       | Streamed -> Stream.to_array_of_reader (Stream.reader_of_channel path ic)
-      | Text -> load_text_ic path ic)
+      | Text -> load_text_ic path ic
+      | Hex -> hex_refusal path)
 
 let pack ?chunk_size ~src ~dst () =
   with_in src (fun ic ->
@@ -507,7 +618,8 @@ let pack ?chunk_size ~src ~dst () =
                    | None -> parse_error src "bad line %S" line
                  end
                done
-             with End_of_file -> ())))
+             with End_of_file -> ())
+          | Hex -> hex_refusal src))
 
 let pp_summary ppf s =
   Format.fprintf ppf "length=%a footprint=%a pages=[%d, %d]"

@@ -140,24 +140,34 @@ module Stream : sig
       @raise Invalid_argument if [chunk_size < 1]. *)
 end
 
-type format = Text | Binary | Streamed
+type format = Text | Binary | Streamed | Hex
+(** [Hex] is recognized but not loadable: an external address trace
+    (the classic one-hex-address-per-line [trace.tr] and relatives)
+    that must go through {!Import} to become page references. *)
 
 val pp_format : Format.formatter -> format -> unit
 
 val format_of_file : string -> format
-(** Sniff a file's format from its magic bytes; anything that is not
-    "ATPT"/"ATPS" is presumed text. *)
+(** Sniff a file's format: "ATPT"/"ATPS" magic bytes dispatch to
+    [Binary]/[Streamed]; otherwise the first content lines are
+    inspected and address-shaped ones (hex letters, [0x] prefixes,
+    extra columns, commas, lackey records) classify the file as
+    [Hex] rather than misreading it as the decimal [Text] format.  A
+    file of bare digit-only single-column lines is ambiguous and
+    sniffs as [Text]. *)
 
 val load : string -> int array
-(** Load any of the three formats, dispatching on the magic bytes with
-    a single open of the file.
-    @raise Parse_error on a malformed file of any format. *)
+(** Load any of the three native formats, dispatching as
+    {!format_of_file} with a single open of the file.
+    @raise Parse_error on a malformed file of any format, and on a
+      file sniffed as [Hex] (with a pointer at [atsim trace
+      import]). *)
 
 val pack : ?chunk_size:int -> src:string -> dst:string -> unit -> unit
-(** Convert [src] (any format) into a streamed "ATPS" file at [dst]
-    without materializing the trace: references are pumped one chunk
-    at a time from reader to writer.
-    @raise Parse_error if [src] is malformed. *)
+(** Convert [src] (any native format) into a streamed "ATPS" file at
+    [dst] without materializing the trace: references are pumped one
+    chunk at a time from reader to writer.
+    @raise Parse_error if [src] is malformed or sniffs as [Hex]. *)
 
 val pp_summary : Format.formatter -> summary -> unit
 

@@ -1,0 +1,13 @@
+(* Violates exception-contract, importer-shaped: trace-import entry
+   points that reject bad configuration via [invalid_arg] and bad
+   input via [failwith], with an interface that documents neither. *)
+
+let parse_radix = function
+  | "hex" -> 16
+  | "dec" -> 10
+  | r -> failwith ("unknown radix: " ^ r)
+
+let import_line ?(page_bits = 12) line =
+  if page_bits < 0 || page_bits > 62 then
+    invalid_arg "f_exc_import_bad.import_line";
+  int_of_string ("0x" ^ String.trim line) asr page_bits

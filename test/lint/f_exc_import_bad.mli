@@ -1,0 +1,5 @@
+val parse_radix : string -> int
+(** The numeric base named by a radix flag. *)
+
+val import_line : ?page_bits:int -> string -> int
+(** One hex trace line to a virtual page number. *)

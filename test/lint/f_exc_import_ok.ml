@@ -1,0 +1,17 @@
+(* Clean, importer-shaped: the same entry points as
+   f_exc_import_bad, but every raise is part of the documented
+   contract — the shape Workloads.Import follows. *)
+
+exception Parse_error of { line : int; what : string }
+
+let parse_radix = function
+  | "hex" -> 16
+  | "dec" -> 10
+  | r -> raise (Parse_error { line = 0; what = "unknown radix: " ^ r })
+
+let import_line ?(page_bits = 12) ~line_no line =
+  if page_bits < 0 || page_bits > 62 then
+    invalid_arg "f_exc_import_ok.import_line";
+  match int_of_string_opt ("0x" ^ String.trim line) with
+  | Some addr -> addr asr page_bits
+  | None -> raise (Parse_error { line = line_no; what = "bad address" })

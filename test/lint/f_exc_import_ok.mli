@@ -1,0 +1,11 @@
+exception Parse_error of { line : int; what : string }
+(** A trace line that cannot be decoded. *)
+
+val parse_radix : string -> int
+(** The numeric base named by a radix flag.
+    @raise Parse_error on an unknown name. *)
+
+val import_line : ?page_bits:int -> line_no:int -> string -> int
+(** One hex trace line to a virtual page number.
+    @raise Parse_error on a malformed address.
+    @raise Invalid_argument if [page_bits] is outside [0, 62]. *)
