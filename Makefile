@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-quick examples clean doc
+.PHONY: all build test lint bench bench-quick examples clean doc
 
 all: build
 
@@ -9,6 +9,11 @@ build:
 
 test:
 	dune runtest
+
+# Static analysis gate (tools/atplint over lib/, bin/ and bench/);
+# needs the 5.1 compiler, a no-op elsewhere.  See docs/LINTING.md.
+lint:
+	dune build @lint
 
 test-verbose:
 	dune runtest --force --no-buffer

@@ -1379,21 +1379,21 @@ let iceberg () =
         Iceberg_table.reset_stats t;
         let rng = Prng.create ~seed:101 () in
         let lookups = scale_down 400_000 in
-        let t0 = Sys.time () in
+        let t0 = Atp_exp.Runner.wall_clock () in
         for _ = 1 to lookups do
           ignore (Iceberg_table.find t (Prng.int rng n))
         done;
-        let iceberg_time = Sys.time () -. t0 in
+        let iceberg_time = Atp_exp.Runner.wall_clock () -. t0 in
         let reference = Hashtbl.create capacity in
         for k = 0 to n - 1 do
           Hashtbl.replace reference k k
         done;
         let rng = Prng.create ~seed:101 () in
-        let t0 = Sys.time () in
+        let t0 = Atp_exp.Runner.wall_clock () in
         for _ = 1 to lookups do
           ignore (Hashtbl.find_opt reference (Prng.int rng n))
         done;
-        let hashtbl_time = Sys.time () -. t0 in
+        let hashtbl_time = Atp_exp.Runner.wall_clock () -. t0 in
         let s = Iceberg_table.stats t in
         Json.Obj
           [
@@ -1776,11 +1776,11 @@ let engine_exp () =
         in
         Simulation.create ~seed:7 ~params ~x ~y ()
       in
-      let seq_t0 = Unix.gettimeofday () in
+      let seq_t0 = Atp_exp.Runner.wall_clock () in
       let baseline =
         Engine.replay_sequential ~make_sim (Trace.Stream.source path)
       in
-      let seq_wall = Unix.gettimeofday () -. seq_t0 in
+      let seq_wall = Atp_exp.Runner.wall_clock () -. seq_t0 in
       let base_cost = Engine.cost ~epsilon baseline in
       let row (t : Engine.totals) ~wall =
         let cost = Engine.cost ~epsilon t in
@@ -1821,9 +1821,9 @@ let engine_exp () =
       in
       let fused_stream_task =
         Spec.task ~key:"fused-stream" (fun _reg ->
-            let t0 = Unix.gettimeofday () in
+            let t0 = Atp_exp.Runner.wall_clock () in
             let totals = Engine.replay_stream_fused ~make_fused path in
-            let wall = Unix.gettimeofday () -. t0 in
+            let wall = Atp_exp.Runner.wall_clock () -. t0 in
             (* The fused path must be bit-identical to the generic
                sequential replay, not merely within the error bound. *)
             if totals <> baseline then
@@ -1832,31 +1832,31 @@ let engine_exp () =
       in
       let fused_sharded_task shards =
         Spec.task ~key:(Printf.sprintf "fused-shards=%d" shards) (fun reg ->
-            let t0 = Unix.gettimeofday () in
+            let t0 = Atp_exp.Runner.wall_clock () in
             let totals =
               Engine.replay_fused
                 ~obs:(Obs.Scope.v ~prefix:"engine" reg)
-                ~clock:Unix.gettimeofday
+                ~clock:Atp_exp.Runner.wall_clock
                 ~config:
                   { Engine.shards; epoch_len; warmup = epoch_len; domains = None }
                 ~make_fused
                 (Engine.block_source_of_stream path)
             in
-            row totals ~wall:(Unix.gettimeofday () -. t0))
+            row totals ~wall:(Atp_exp.Runner.wall_clock () -. t0))
       in
       let sharded_task shards =
         Spec.task ~key:(Printf.sprintf "shards=%d" shards) (fun reg ->
-            let t0 = Unix.gettimeofday () in
+            let t0 = Atp_exp.Runner.wall_clock () in
             let totals =
               Engine.replay
                 ~obs:(Obs.Scope.v ~prefix:"engine" reg)
-                ~clock:Unix.gettimeofday
+                ~clock:Atp_exp.Runner.wall_clock
                 ~config:
                   { Engine.shards; epoch_len; warmup = epoch_len; domains = None }
                 ~make_sim
                 (Trace.Stream.source path)
             in
-            row totals ~wall:(Unix.gettimeofday () -. t0))
+            row totals ~wall:(Atp_exp.Runner.wall_clock () -. t0))
       in
       let outcomes =
         run_spec

@@ -420,7 +420,7 @@ let decoupled_cmd =
       let totals =
         Engine.replay
           ~obs:(Obs.Scope.v ~prefix:"engine" reg)
-          ~clock:Unix.gettimeofday ~config
+          ~clock:Atp_exp.Runner.wall_clock ~config
           ~make_sim:(fun () -> make_sim ())
           source
       in

@@ -69,14 +69,14 @@ let[@atplint.hot] release_slot t bin slot =
 
 (* Any free frame, found by a rotating scan; failures are rare by
    construction so the scan amortizes away. *)
+let rec fallback_scan t ~buckets ~tried bin =
+  if tried >= buckets then failwith "Alloc: RAM completely full"
+  else if t.free_in.(bin) > 0 then bin
+  else fallback_scan t ~buckets ~tried:(tried + 1) ((bin + 1) mod buckets)
+
 let find_fallback t =
   let buckets = t.params.Params.buckets in
-  let rec scan tried bin =
-    if tried >= buckets then failwith "Alloc: RAM completely full"
-    else if t.free_in.(bin) > 0 then bin
-    else scan (tried + 1) ((bin + 1) mod buckets)
-  in
-  let bin = scan 0 t.fallback_cursor in
+  let bin = fallback_scan t ~buckets ~tried:0 t.fallback_cursor in
   t.fallback_cursor <- (bin + 1) mod buckets;
   bin
 
@@ -179,9 +179,8 @@ let failures_total t = t.failures_total
 
 let max_bucket_load t =
   let best = ref 0 in
-  Array.iter
-    (fun free ->
-      let load = t.params.Params.bucket_size - free in
-      if load > !best then best := load)
-    t.free_in;
+  for i = 0 to Array.length t.free_in - 1 do
+    let load = t.params.Params.bucket_size - t.free_in.(i) in
+    if load > !best then best := load
+  done;
   !best

@@ -23,7 +23,11 @@ type core = {
   g_max_bucket_load : Obs.Gauge.t;
 }
 
-let make_core ?seed ?obs ~params ~y_capacity () =
+(* Constructor, not per-access code: runs once per simulator, so the
+   allocations its callees perform are setup cost, not hot-path churn.
+   (The file-wide hot tag covers the access functions below.) *)
+let[@atplint.allow "hot-path-alloc-transitive"] make_core ?seed ?obs ~params
+    ~y_capacity () =
   let budget = Params.usable_pages params in
   if y_capacity > budget then
     invalid_arg
@@ -249,8 +253,10 @@ let specialized_pairs =
     ("2q", "2q");
   ]
 
-let[@atplint.allow "hot-path-alloc"] specialized ?seed ?obs ~params ~x_name
-    ~x_capacity ?x_rng ~y_name ~y_capacity ?y_rng () =
+let[@atplint.allow "hot-path-alloc"] [@atplint.allow
+                                       "hot-path-alloc-transitive"] specialized
+    ?seed ?obs ~params ~x_name ~x_capacity ?x_rng ~y_name ~y_capacity ?y_rng ()
+    =
   let lru c rng = Lru.create ?rng ~capacity:c () in
   let fifo c rng = Fifo.create ?rng ~capacity:c () in
   let two_q c rng = Two_q.create ?rng ~capacity:c () in
@@ -292,8 +298,9 @@ let[@atplint.allow "hot-path-alloc"] specialized ?seed ?obs ~params ~x_name
             ~y:(two_q y_capacity y_rng) ()))
   | _ -> None
 
-let for_names ?seed ?obs ~params ~x_name ~x_capacity ?x_rng ~y_name ~y_capacity
-    ?y_rng () =
+(* Constructor fallback path: policy instantiation allocates, once. *)
+let[@atplint.allow "hot-path-alloc-transitive"] for_names ?seed ?obs ~params
+    ~x_name ~x_capacity ?x_rng ~y_name ~y_capacity ?y_rng () =
   match
     specialized ?seed ?obs ~params ~x_name ~x_capacity ?x_rng ~y_name
       ~y_capacity ?y_rng ()

@@ -95,7 +95,11 @@ let run ?(config = default_config) (spec : Spec.t) =
      | Some _, _ | None, _ -> ());
     Outcome.v ~key:task.Spec.key ~row ~row_text ~replayed:false
   in
-  let outcome_of_task (task : Spec.task) =
+  (* Audited: [replayed] is filled before the parallel map starts and
+     only read inside it — each shard does lookups on a table no one
+     writes concurrently.  (Checkpoint writes go through [fresh],
+     which serialises them behind the checkpoint mutex.) *)
+  let[@atplint.domain_safe] outcome_of_task (task : Spec.task) =
     match Hashtbl.find_opt replayed task.Spec.key with
     | Some line -> (
       match Json.of_string line with

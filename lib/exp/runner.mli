@@ -43,6 +43,14 @@ val default_config : config
 (** No parallelism cap, no retries, everything retryable, no JSON, no
     checkpoint, wall clock. *)
 
+val wall_clock : unit -> float
+(** Seconds since the epoch: the one sanctioned wall-clock read for
+    measurement {e metadata} (durations reported next to results,
+    never an input to any simulated quantity).  Benchmark and CLI
+    timing must go through here rather than reading
+    [Unix.gettimeofday] directly, so the determinism lint keeps a
+    single audited exception. *)
+
 val run : ?config:config -> Spec.t -> Outcome.t list
 (** Outcomes in spec order, one per task.  Does not raise on task
     failure — failures are data ({!Outcome.error}).

@@ -46,15 +46,15 @@ let grow t =
   t.values <- Array.make cap 0;
   t.mask <- cap - 1;
   t.size <- 0;
-  Array.iteri
-    (fun i k ->
-      if k <> empty_key then begin
-        let j = lnot (probe t k (slot_of t k)) in
-        t.keys.(j) <- k;
-        t.values.(j) <- old_values.(i);
-        t.size <- t.size + 1
-      end)
-    old_keys
+  for i = 0 to Array.length old_keys - 1 do
+    let k = Array.unsafe_get old_keys i in
+    if k <> empty_key then begin
+      let j = lnot (probe t k (slot_of t k)) in
+      t.keys.(j) <- k;
+      t.values.(j) <- Array.unsafe_get old_values i;
+      t.size <- t.size + 1
+    end
+  done
 
 let maybe_grow t =
   (* Keep load below 0.75. *)
@@ -209,15 +209,15 @@ module Poly = struct
     t.values <- Array.make cap old_values.(0);
     t.mask <- cap - 1;
     t.size <- 0;
-    Array.iteri
-      (fun i k ->
-        if k <> empty_key then begin
-          let j = lnot (probe t k (slot_of t k)) in
-          t.keys.(j) <- k;
-          t.values.(j) <- old_values.(i);
-          t.size <- t.size + 1
-        end)
-      old_keys
+    for i = 0 to Array.length old_keys - 1 do
+      let k = Array.unsafe_get old_keys i in
+      if k <> empty_key then begin
+        let j = lnot (probe t k (slot_of t k)) in
+        t.keys.(j) <- k;
+        t.values.(j) <- Array.unsafe_get old_values i;
+        t.size <- t.size + 1
+      end
+    done
 
   let maybe_grow t = if 4 * (t.size + 1) > 3 * (t.mask + 1) then grow t
 

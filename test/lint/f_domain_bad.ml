@@ -1,0 +1,27 @@
+(* Violates domain-safety: work shipped across domains reaches mutable
+   state shared with the enclosing scope — a captured ref, and a named
+   function that writes a module-level table. *)
+
+let sum_shared xs =
+  let total = ref 0 in
+  let partials =
+    Atp_util.Parallel.map
+      (fun x ->
+        total := !total + x;
+        !total)
+      xs
+  in
+  ignore partials;
+  !total
+
+let memo : (string, int) Hashtbl.t = Hashtbl.create 8
+
+let cached_length s =
+  match Hashtbl.find_opt memo s with
+  | Some n -> n
+  | None ->
+    let n = String.length s in
+    Hashtbl.add memo s n;
+    n
+
+let lengths xs = Atp_util.Parallel.map cached_length xs

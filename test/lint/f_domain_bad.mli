@@ -1,0 +1,5 @@
+val sum_shared : int list -> int
+
+val cached_length : string -> int
+
+val lengths : string list -> int list

@@ -1,0 +1,29 @@
+(* Clean under domain-safety: each shard owns its mutable state, the
+   only shared primitives are the sanctioned ones, and the audited
+   read-only table carries the escape hatch. *)
+
+let sum_owned chunks =
+  Atp_util.Parallel.map
+    (fun chunk ->
+      let acc = ref 0 in
+      List.iter (fun x -> acc := !acc + x) chunk;
+      !acc)
+    chunks
+
+let progress = Atomic.make 0
+
+let count_atomic xs =
+  Atp_util.Parallel.map
+    (fun x ->
+      Atomic.incr progress;
+      x)
+    xs
+
+let lookup : (string, int) Hashtbl.t = Hashtbl.create 8
+
+(* Audited: [lookup] is filled before any parallel map starts and only
+   read inside one. *)
+let[@atplint.domain_safe] read_only_lookup s =
+  match Hashtbl.find_opt lookup s with Some v -> v | None -> 0
+
+let lookups xs = Atp_util.Parallel.map read_only_lookup xs

@@ -1,0 +1,7 @@
+val sum_owned : int list list -> int list
+
+val count_atomic : int list -> int list
+
+val read_only_lookup : string -> int
+
+val lookups : string list -> int list

@@ -1,0 +1,13 @@
+(* Violates hot-path-alloc-transitive: the hot entry points stay
+   allocation-free themselves but call non-hot helpers that allocate
+   per call — directly, and through a deeper chain. *)
+
+let pair a b = (a, b)
+
+let wrap x = Some x
+
+let deep x = wrap (x + 1)
+
+let[@atplint.hot] lookup x = fst (pair x x)
+
+let[@atplint.hot] translate x = deep x

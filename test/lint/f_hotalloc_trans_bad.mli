@@ -1,0 +1,9 @@
+val pair : int -> int -> int * int
+
+val wrap : int -> int option
+
+val deep : int -> int option
+
+val lookup : int -> int
+
+val translate : int -> int option

@@ -1,0 +1,14 @@
+(* Clean under hot-path-alloc-transitive: helpers on the hot path are
+   allocation-free, and the one allocating callee is justified at its
+   hot caller. *)
+
+let clamp lo hi x = if x < lo then lo else if x > hi then hi else x
+
+let[@atplint.hot] step x = clamp 0 100 (x + 1)
+
+let boxed x = Some x
+
+(* Setup entry point of a hot module: allocation at creation time is
+   fine, and says so. *)
+let[@atplint.hot] [@atplint.allow "hot-path-alloc-transitive"] sample x =
+  boxed x

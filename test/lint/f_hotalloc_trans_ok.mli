@@ -1,0 +1,7 @@
+val clamp : int -> int -> int -> int
+
+val step : int -> int
+
+val boxed : int -> int option
+
+val sample : int -> int option

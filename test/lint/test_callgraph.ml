@@ -1,0 +1,269 @@
+(* Unit tests for the whole-program analysis core: canonical-name
+   resolution across dune's unit mangling, cross-module edge lookup,
+   conservatism on functor applications and unknown callees, and the
+   cycle-safe reachability queries.  Hand-built graphs, no cmts. *)
+
+module Cg = Atplint_lib.Callgraph
+
+let check = Alcotest.check
+
+(* ------------------------------------------------------------------ *)
+(* Helpers                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let call ?(applied = true) ?(allows = []) callee =
+  {
+    Cg.callee;
+    c_loc = Location.none;
+    applied;
+    callee_local = None;
+    call_allows = allows;
+  }
+
+let alloc ?(allows = []) what =
+  { Cg.a_loc = Location.none; a_what = what; a_allows = allows }
+
+let global name what =
+  {
+    Cg.cap_name = name;
+    cap_loc = Location.none;
+    cap_what = what;
+    cap_allows = [];
+  }
+
+let node ?(hot = false) ?(calls = []) ?(allocs = []) ?(globals = []) ~modname
+    id =
+  {
+    Cg.id;
+    n_file = "lib/fake.ml";
+    n_modname = modname;
+    n_loc = Location.none;
+    n_hot = hot;
+    n_in_functor = false;
+    n_allows = [];
+    n_calls = calls;
+    n_allocs = allocs;
+    n_mut_globals = globals;
+  }
+
+let graph nodes =
+  let t = Cg.create () in
+  List.iter (Cg.add_node t) nodes;
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Name resolution                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_candidates_wrapper_alias () =
+  let cands =
+    Cg.Name.candidates ~modname:"Atp_engine__Engine" "Atp_util.Parallel.map"
+  in
+  check Alcotest.(list string) "most specific first"
+    [
+      "Atp_util__Parallel.map";
+      "Atp_util.Parallel.map";
+      "Atp_engine__Engine.Atp_util.Parallel.map";
+    ]
+    cands
+
+let test_candidates_bare_name () =
+  check
+    Alcotest.(list string)
+    "bare idents resolve within the unit"
+    [ "Atp_core__Alloc.find_fallback" ]
+    (Cg.Name.candidates ~modname:"Atp_core__Alloc" "find_fallback")
+
+let test_candidates_nested_module () =
+  let cands = Cg.Name.candidates ~modname:"Atp_engine__Engine" "History.push" in
+  check Alcotest.bool "nested-module key present" true
+    (List.mem "Atp_engine__Engine.History.push" cands)
+
+let test_canon_unmangles () =
+  check Alcotest.string "stdlib unit" "Stdlib.Hashtbl.t"
+    (Cg.Name.canon "Stdlib__Hashtbl.t");
+  check Alcotest.string "project unit" "Atp_util.Parallel.map"
+    (Cg.Name.canon "Atp_util__Parallel.map");
+  check Alcotest.string "snake_case untouched" "find_fallback"
+    (Cg.Name.canon "find_fallback")
+
+let test_resolve_aliases () =
+  let aliases = [ ("Obs", "Atp_obs"); ("Json", "Atp_obs.Json") ] in
+  check Alcotest.string "head rewrite" "Atp_obs.Scope.counter"
+    (Cg.Name.resolve_aliases ~aliases "Obs.Scope.counter");
+  check Alcotest.string "no alias, unchanged" "History.push"
+    (Cg.Name.resolve_aliases ~aliases "History.push")
+
+let test_is_parallel_primitive () =
+  let yes = Cg.Name.is_parallel_primitive in
+  check Alcotest.bool "wrapper view" true (yes "Atp_util.Parallel.map");
+  check Alcotest.bool "mangled view" true (yes "Atp_util__Parallel.map_results");
+  check Alcotest.bool "domain spawn" true (yes "Stdlib.Domain.spawn");
+  check Alcotest.bool "ordinary map" false (yes "Stdlib.List.map");
+  check Alcotest.bool "suffix is anchored" false (yes "NotParallel.map")
+
+(* ------------------------------------------------------------------ *)
+(* Edge resolution                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_resolve_cross_module () =
+  let t =
+    graph [ node ~modname:"Atp_util__Parallel" "Atp_util__Parallel.map" ]
+  in
+  check
+    Alcotest.(option string)
+    "wrapper-alias reference finds the mangled unit"
+    (Some "Atp_util__Parallel.map")
+    (Cg.resolve t ~modname:"Atp_engine__Engine" "Atp_util.Parallel.map")
+
+let test_resolve_functor_application () =
+  let t = graph [ node ~modname:"M" "M.f" ] in
+  check
+    Alcotest.(option string)
+    "functor application paths stay unknown" None
+    (Cg.resolve t ~modname:"M" "Make(X).f")
+
+let test_resolve_unknown_callee () =
+  let t = graph [ node ~modname:"M" "M.f" ] in
+  check
+    Alcotest.(option string)
+    "externals stay unknown" None
+    (Cg.resolve t ~modname:"M" "Stdlib.List.map")
+
+(* ------------------------------------------------------------------ *)
+(* Reachability                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_reaches_parallel_chain () =
+  let t =
+    graph
+      [
+        node ~modname:"M" "M.outer" ~calls:[ call "inner" ];
+        node ~modname:"M" "M.inner" ~calls:[ call "Atp_util.Parallel.map" ];
+        node ~modname:"M" "M.plain" ~calls:[ call "Stdlib.List.map" ];
+      ]
+  in
+  check Alcotest.bool "transitive forwarder" true
+    (Cg.reaches_parallel t "M.outer");
+  check Alcotest.bool "non-forwarder" false (Cg.reaches_parallel t "M.plain")
+
+let test_reaches_parallel_cycle () =
+  let t =
+    graph
+      [
+        node ~modname:"M" "M.a" ~calls:[ call "b" ];
+        node ~modname:"M" "M.b" ~calls:[ call "a" ];
+      ]
+  in
+  check Alcotest.bool "cycle terminates, conservatively false" false
+    (Cg.reaches_parallel t "M.a")
+
+let test_alloc_witness_chain () =
+  let t =
+    graph
+      [
+        node ~modname:"M" "M.top" ~calls:[ call "mid" ];
+        node ~modname:"M" "M.mid" ~calls:[ call "leaf" ];
+        node ~modname:"M" "M.leaf" ~allocs:[ alloc "a tuple" ];
+      ]
+  in
+  match Cg.alloc_witness t "M.top" with
+  | None -> Alcotest.fail "expected an allocation witness"
+  | Some (chain, a) ->
+    check
+      Alcotest.(list string)
+      "chain in call order"
+      [ "M.top"; "M.mid"; "M.leaf" ]
+      (List.map (fun (n : Cg.node) -> n.Cg.id) chain);
+    check Alcotest.string "witness" "a tuple" a.Cg.a_what
+
+let test_alloc_witness_stops_at_hot () =
+  let t =
+    graph
+      [
+        node ~modname:"M" "M.top" ~calls:[ call "hot_leaf" ];
+        node ~modname:"M" "M.hot_leaf" ~hot:true
+          ~allocs:[ alloc "a closure" ];
+      ]
+  in
+  check Alcotest.bool "hot callees enforce their own discipline" true
+    (Option.is_none (Cg.alloc_witness t "M.top"))
+
+let test_alloc_witness_skips_unapplied_edges () =
+  let t =
+    graph
+      [
+        node ~modname:"M" "M.top" ~calls:[ call ~applied:false "leaf" ];
+        node ~modname:"M" "M.leaf" ~allocs:[ alloc "a tuple" ];
+      ]
+  in
+  check Alcotest.bool "bare references contribute no alloc edges" true
+    (Option.is_none (Cg.alloc_witness t "M.top"))
+
+let test_alloc_witness_cycle () =
+  let t =
+    graph
+      [
+        node ~modname:"M" "M.a" ~calls:[ call "b" ];
+        node ~modname:"M" "M.b" ~calls:[ call "a" ];
+      ]
+  in
+  check Alcotest.bool "allocation-free cycle terminates" true
+    (Option.is_none (Cg.alloc_witness t "M.a"))
+
+let test_mutable_global_witness () =
+  let t =
+    graph
+      [
+        node ~modname:"M" "M.caller" ~calls:[ call "toucher" ];
+        node ~modname:"M" "M.toucher"
+          ~globals:[ global "memo" "a hash table" ];
+      ]
+  in
+  match Cg.mutable_global_witness t "M.caller" with
+  | None -> Alcotest.fail "expected a mutable-global witness"
+  | Some (owner, g) ->
+    check Alcotest.string "owning node" "M.toucher" owner.Cg.id;
+    check Alcotest.string "witness name" "memo" g.Cg.cap_name
+
+let () =
+  Alcotest.run "callgraph"
+    [
+      ( "names",
+        [
+          Alcotest.test_case "candidates wrapper alias" `Quick
+            test_candidates_wrapper_alias;
+          Alcotest.test_case "candidates bare name" `Quick
+            test_candidates_bare_name;
+          Alcotest.test_case "candidates nested module" `Quick
+            test_candidates_nested_module;
+          Alcotest.test_case "canon unmangles" `Quick test_canon_unmangles;
+          Alcotest.test_case "alias rewrite" `Quick test_resolve_aliases;
+          Alcotest.test_case "parallel primitives" `Quick
+            test_is_parallel_primitive;
+        ] );
+      ( "resolution",
+        [
+          Alcotest.test_case "cross-module edge" `Quick
+            test_resolve_cross_module;
+          Alcotest.test_case "functor application" `Quick
+            test_resolve_functor_application;
+          Alcotest.test_case "unknown callee" `Quick
+            test_resolve_unknown_callee;
+        ] );
+      ( "reachability",
+        [
+          Alcotest.test_case "parallel chain" `Quick
+            test_reaches_parallel_chain;
+          Alcotest.test_case "parallel cycle" `Quick
+            test_reaches_parallel_cycle;
+          Alcotest.test_case "alloc chain" `Quick test_alloc_witness_chain;
+          Alcotest.test_case "alloc stops at hot" `Quick
+            test_alloc_witness_stops_at_hot;
+          Alcotest.test_case "alloc skips bare refs" `Quick
+            test_alloc_witness_skips_unapplied_edges;
+          Alcotest.test_case "alloc cycle" `Quick test_alloc_witness_cycle;
+          Alcotest.test_case "mutable global witness" `Quick
+            test_mutable_global_witness;
+        ] );
+    ]

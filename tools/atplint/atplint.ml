@@ -2,19 +2,32 @@
    enforcing the project invariants described in docs/LINTING.md.
 
    Usage:
-     atplint [--root DIR] [--config FILE] [--only R1,R2] [--no-scope] PATH...
+     atplint [--root DIR] [--config FILE] [--only R1,R2] [--no-scope]
+             [--format human|json] [--baseline FILE]
+             [--write-baseline FILE] PATH...
 
    PATHs are .cmt files or directories searched recursively.  Run it
    from the dune build context root (dune build @lint does) so the
    load paths recorded in the .cmt files resolve.
 
+   Two analysis phases: the intra-procedural rules run per file, then
+   every scanned unit is linked into one call graph (Callgraph) and
+   the whole-program rules — domain-safety and
+   hot-path-alloc-transitive — judge the linked program.
+
    Exit codes: 0 clean (or warnings only), 1 at least one error-level
-   diagnostic, 2 operational failure (unreadable file, bad config). *)
+   diagnostic, 2 operational failure (unreadable file, bad config or
+   baseline). *)
+
+open Atplint_lib
 
 let root = ref "."
 let config_file = ref ""
 let only = ref []
 let no_scope = ref false
+let format = ref "human"
+let baseline_file = ref ""
+let write_baseline_file = ref ""
 let paths = ref []
 
 let usage = "atplint [options] <.cmt file or directory>..."
@@ -22,7 +35,8 @@ let usage = "atplint [options] <.cmt file or directory>..."
 let list_rules () =
   List.iter
     (fun (r : Rules.rule) ->
-      Printf.printf "%-20s %s\n" r.name r.summary;
+      Printf.printf "%-20s %s%s\n" r.name r.summary
+        (if r.whole_program then " (whole-program)" else "");
       Printf.printf "%-20s scope: %s\n" "" (String.concat " " r.scopes))
     Rules.all_rules;
   exit 0
@@ -39,6 +53,12 @@ let args =
      "R1,R2 run only the named rules");
     ("--no-scope", Arg.Set no_scope,
      " apply every rule to every file (fixture testing)");
+    ("--format", Arg.Set_string format,
+     "FMT output format: human (default) or json (one object per line)");
+    ("--baseline", Arg.Set_string baseline_file,
+     "FILE suppress findings recorded in this committed baseline");
+    ("--write-baseline", Arg.Set_string write_baseline_file,
+     "FILE write the current findings as a baseline and exit 0");
     ("--list-rules", Arg.Unit list_rules, " print the rules and exit");
   ]
 
@@ -129,7 +149,20 @@ let undocumented_exports mli_path =
 
 (* --- per-file processing ------------------------------------------ *)
 
-let process ~cfg ~diags cmt_path =
+(* Is rule [r] enabled for [file] under --only and scope filtering?
+   Whole-program rules use the same predicate at finalization time,
+   keyed by each diagnostic's own file. *)
+let rule_enabled (r : Rules.rule) ~file =
+  (!only = [] || List.mem r.name !only)
+  && (!no_scope || List.exists (fun p -> starts_with ~prefix:p file) r.scopes)
+
+let want_whole_program () =
+  List.exists
+    (fun (r : Rules.rule) ->
+      r.whole_program && (!only = [] || List.mem r.name !only))
+    Rules.all_rules
+
+let process ~cfg ~diags ~graph cmt_path =
   let cmt =
     try Cmt_format.read_cmt cmt_path
     with exn ->
@@ -139,39 +172,44 @@ let process ~cfg ~diags cmt_path =
   | Cmt_format.Implementation str, Some source
     when Filename.check_suffix source ".ml" ->
     let file = normalize_path source in
-    let in_scope (r : Rules.rule) =
-      !no_scope || List.exists (fun p -> starts_with ~prefix:p file) r.scopes
-    in
     let enabled (r : Rules.rule) =
-      (!only = [] || List.mem r.name !only) && in_scope r
+      (not r.whole_program) && rule_enabled r ~file
     in
     let active name =
-      match List.find_opt (fun (r : Rules.rule) -> r.name = name) Rules.all_rules with
+      match
+        List.find_opt (fun (r : Rules.rule) -> r.name = name) Rules.all_rules
+      with
       | Some r -> enabled r
       | None -> false
     in
-    if List.exists enabled Rules.all_rules then begin
+    let run_intra = List.exists enabled Rules.all_rules in
+    let run_wp = want_whole_program () in
+    if run_intra || run_wp then begin
       (* Rebuild enough typing environment for type-driven rules: the
          load path recorded at compile time plus the cmt's own
          directory. *)
       Load_path.init ~auto_include:Load_path.no_auto_include
         (cmt.cmt_loadpath @ [ Filename.dirname cmt_path ]);
       Envaux.reset_cache ();
-      let mli_rel = Filename.remove_extension file ^ ".mli" in
-      let mli_fs = Filename.concat !root mli_rel in
-      let mli_exists = Sys.file_exists mli_fs in
-      let exported_undoc = Hashtbl.create 16 in
-      if mli_exists && active "exception-contract" then
-        List.iter
-          (fun v -> Hashtbl.replace exported_undoc v mli_rel)
-          (undocumented_exports mli_fs);
-      let mli_missing =
-        if mli_exists then None else Some (Location.in_file file)
-      in
-      let file_diags =
-        Rules.run ~cfg ~file ~active ~exported_undoc ~mli_missing str
-      in
-      diags := file_diags @ !diags
+      if run_intra then begin
+        let mli_rel = Filename.remove_extension file ^ ".mli" in
+        let mli_fs = Filename.concat !root mli_rel in
+        let mli_exists = Sys.file_exists mli_fs in
+        let exported_undoc = Hashtbl.create 16 in
+        if mli_exists && active "exception-contract" then
+          List.iter
+            (fun v -> Hashtbl.replace exported_undoc v mli_rel)
+            (undocumented_exports mli_fs);
+        let mli_missing =
+          if mli_exists then None else Some (Location.in_file file)
+        in
+        let file_diags =
+          Rules.run ~cfg ~file ~active ~exported_undoc ~mli_missing str
+        in
+        diags := file_diags @ !diags
+      end;
+      if run_wp then
+        Callgraph.collect graph ~file ~modname:cmt.cmt_modname str
     end
   | _ -> ()
 
@@ -183,6 +221,8 @@ let () =
     prerr_endline usage;
     exit 2
   end;
+  if !format <> "human" && !format <> "json" then
+    fatal "unknown --format %S (want human|json)" !format;
   List.iter
     (fun r ->
       if not (List.exists (fun (x : Rules.rule) -> x.name = r) Rules.all_rules)
@@ -195,6 +235,13 @@ let () =
       | Lint_config.Config_error msg -> fatal "%s: %s" !config_file msg
       | Sys_error msg -> fatal "%s" msg
   in
+  let baseline =
+    if !baseline_file = "" then []
+    else
+      try Baseline.load !baseline_file with
+      | Baseline.Baseline_error msg -> fatal "%s: %s" !baseline_file msg
+      | Sys_error msg -> fatal "%s" msg
+  in
   let cmts =
     List.fold_left
       (fun acc p ->
@@ -204,17 +251,52 @@ let () =
     |> List.sort String.compare
   in
   let diags = ref [] in
-  List.iter (process ~cfg ~diags) cmts;
+  let graph = Callgraph.create () in
+  List.iter (process ~cfg ~diags ~graph) cmts;
+  (if want_whole_program () then
+     let enabled ~rule ~file =
+       match
+         List.find_opt (fun (r : Rules.rule) -> r.name = rule) Rules.all_rules
+       with
+       | Some r -> rule_enabled r ~file
+       | None -> false
+     in
+     diags := Callgraph.finalize graph ~enabled ~cfg @ !diags);
   let compare_full a b =
     let c = Diagnostic.compare a b in
     if c <> 0 then c else String.compare a.Diagnostic.message b.Diagnostic.message
   in
   let sorted = List.sort_uniq compare_full !diags in
-  List.iter (fun d -> Format.printf "%a@." Diagnostic.pp d) sorted;
-  let errors, warnings =
-    List.partition (fun d -> d.Diagnostic.severity = Diagnostic.Error) sorted
+  if !write_baseline_file <> "" then begin
+    let n = Baseline.write !write_baseline_file sorted in
+    Printf.eprintf "atplint: wrote %d baseline entr%s to %s\n" n
+      (if n = 1 then "y" else "ies")
+      !write_baseline_file;
+    exit 0
+  end;
+  let suppressed, kept =
+    List.partition (fun d -> Baseline.mem baseline d) sorted
   in
-  if sorted <> [] then
-    Format.printf "atplint: %d error(s), %d warning(s)@." (List.length errors)
-      (List.length warnings);
+  List.iter
+    (fun (e : Baseline.entry) ->
+      Printf.eprintf
+        "atplint: stale baseline entry (no longer fires): %s [%s] %s\n"
+        e.Baseline.b_file e.Baseline.b_rule e.Baseline.b_message)
+    (Baseline.stale baseline sorted);
+  (match !format with
+   | "json" -> List.iter (fun d -> print_endline (Diagnostic.to_json d)) kept
+   | _ ->
+     List.iter (fun d -> Format.printf "%a@." Diagnostic.pp d) kept;
+     let errors, warnings =
+       List.partition (fun d -> d.Diagnostic.severity = Diagnostic.Error) kept
+     in
+     if kept <> [] || suppressed <> [] then
+       Format.printf "atplint: %d error(s), %d warning(s)%s@."
+         (List.length errors) (List.length warnings)
+         (match List.length suppressed with
+          | 0 -> ""
+          | n -> Printf.sprintf ", %d baseline-suppressed" n));
+  let errors =
+    List.filter (fun d -> d.Diagnostic.severity = Diagnostic.Error) kept
+  in
   exit (if errors <> [] then 1 else 0)

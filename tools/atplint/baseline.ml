@@ -1,0 +1,86 @@
+(* Committed finding baseline: lets a new rule land at error severity
+   without a flag-day.  A baseline entry suppresses a current finding
+   when (file, rule, message) match exactly — line/column are omitted
+   deliberately so unrelated edits that move a finding do not
+   invalidate the entry.
+
+   File format, one entry per line, '#' comments and blank lines
+   ignored:
+
+     file<TAB>rule<TAB>message
+
+   `--write-baseline FILE` regenerates the file from the current
+   findings (sorted, deduplicated); `--baseline FILE` applies it.
+   Stale entries — present in the baseline but no longer firing — are
+   reported on stderr so the file ratchets down over time. *)
+
+type entry = { b_file : string; b_rule : string; b_message : string }
+
+type t = entry list
+
+exception Baseline_error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Baseline_error s)) fmt
+
+let entry_of_diag (d : Diagnostic.t) =
+  { b_file = d.Diagnostic.file; b_rule = d.Diagnostic.rule; b_message = d.Diagnostic.message }
+
+let compare_entry a b =
+  let c = String.compare a.b_file b.b_file in
+  if c <> 0 then c
+  else
+    let c = String.compare a.b_rule b.b_rule in
+    if c <> 0 then c else String.compare a.b_message b.b_message
+
+let load path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) @@ fun () ->
+  let entries = ref [] in
+  let lineno = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       incr lineno;
+       let trimmed = String.trim line in
+       if trimmed = "" || trimmed.[0] = '#' then ()
+       else
+         match String.split_on_char '\t' line with
+         | [ b_file; b_rule; b_message ] ->
+           entries := { b_file; b_rule; b_message } :: !entries
+         | _ ->
+           error "line %d: expected file<TAB>rule<TAB>message, got %S" !lineno
+             line
+     done
+   with End_of_file -> ());
+  List.rev !entries
+
+(* Is this finding recorded in the baseline? *)
+let mem t (d : Diagnostic.t) =
+  let e = entry_of_diag d in
+  List.exists (fun b -> compare_entry b e = 0) t
+
+(* Entries that matched no current finding: candidates for deletion. *)
+let stale t diags =
+  let current = List.map entry_of_diag diags in
+  List.filter
+    (fun b -> not (List.exists (fun e -> compare_entry b e = 0) current))
+    t
+
+let write path diags =
+  let entries =
+    List.sort_uniq compare_entry (List.map entry_of_diag diags)
+  in
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) @@ fun () ->
+  output_string oc
+    "# atplint baseline: findings grandfathered in when a rule landed.\n\
+     # One entry per line: file<TAB>rule<TAB>message.  Regenerate with\n\
+     #   atplint --write-baseline FILE ...\n\
+     # and shrink it as findings are fixed (stale entries are reported\n\
+     # on stderr).  See docs/LINTING.md for the adoption workflow.\n";
+  List.iter
+    (fun e ->
+      output_string oc
+        (Printf.sprintf "%s\t%s\t%s\n" e.b_file e.b_rule e.b_message))
+    entries;
+  List.length entries

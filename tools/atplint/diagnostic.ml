@@ -32,6 +32,32 @@ let pp ppf d =
   Format.fprintf ppf "%s:%d:%d: %s [%s] %s" d.file d.line d.col
     (severity_string d.severity) d.rule d.message
 
+(* One finding as a single-line JSON object, for --format json (one
+   object per line; CI turns them into GitHub annotations).  Hand
+   escaping keeps this module dependency-free. *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json d =
+  Printf.sprintf
+    "{\"rule\":\"%s\",\"severity\":\"%s\",\"file\":\"%s\",\"line\":%d,\"col\":%d,\"message\":\"%s\"}"
+    (json_escape d.rule)
+    (severity_string d.severity)
+    (json_escape d.file) d.line d.col (json_escape d.message)
+
 let of_location ~rule ~severity ~message (loc : Location.t) =
   let pos = loc.loc_start in
   let file =

@@ -1,10 +1,14 @@
-(* The six atplint rules, run over one typed implementation via
-   Tast_iterator.
+(* The intra-procedural atplint rules, run over one typed
+   implementation via Tast_iterator.  The two whole-program rules
+   (domain-safety, hot-path-alloc-transitive) are registered here but
+   implemented in Callgraph, which links every scanned .cmt before
+   judging.
 
    Suppression layers, innermost first:
      - [@atplint.allow "rule"] on an expression or let-binding,
      - [@@@atplint.allow "rule"] floating at the top of the file,
-     - a per-path allowlist in atplint.toml. *)
+     - a per-path allowlist in atplint.toml,
+     - a committed --baseline file (for staged adoption of new rules). *)
 
 open Typedtree
 
@@ -14,6 +18,9 @@ type rule = {
   (* Source-path prefixes (relative to the repo root) the rule applies
      to by default; [--no-scope] widens every rule to every file. *)
   scopes : string list;
+  (* Whole-program rules judge the linked call graph after every cmt
+     has been scanned; scope still filters by the diagnostic's file. *)
+  whole_program : bool;
 }
 
 let all_rules =
@@ -22,8 +29,9 @@ let all_rules =
       name = "determinism";
       summary =
         "no Stdlib.Random / Sys.time / Unix.gettimeofday / Hashtbl.hash \
-         in lib/; all randomness flows through Util.Prng";
-      scopes = [ "lib/" ];
+         in lib/, bin/ or bench/; all randomness flows through Util.Prng";
+      scopes = [ "lib/"; "bin/"; "bench/" ];
+      whole_program = false;
     };
     {
       name = "hot-path-hashing";
@@ -31,6 +39,7 @@ let all_rules =
         "no polymorphic Hashtbl with int keys on simulator hot paths; \
          use Util.Int_table";
       scopes = [ "lib/tlb/"; "lib/paging/"; "lib/memsim/" ];
+      whole_program = false;
     };
     {
       name = "hot-path-alloc";
@@ -39,12 +48,31 @@ let all_rules =
          in hot-tagged code ([@@@atplint.hot] files or [@atplint.hot] \
          bindings)";
       scopes = [ "lib/" ];
+      whole_program = false;
+    };
+    {
+      name = "hot-path-alloc-transitive";
+      summary =
+        "hot-tagged code must not call a non-hot function that allocates \
+         per call, however deep the call chain";
+      scopes = [ "lib/" ];
+      whole_program = true;
+    };
+    {
+      name = "domain-safety";
+      summary =
+        "closures shipped to Util.Parallel / Domain.spawn (directly or \
+         transitively) must not capture or reach shared mutable state; \
+         audit with [@atplint.domain_safe]";
+      scopes = [ "lib/"; "bin/"; "bench/" ];
+      whole_program = true;
     };
     {
       name = "no-poly-compare";
       summary =
         "no polymorphic =, <>, compare, min, max at non-immediate types";
       scopes = [ "lib/" ];
+      whole_program = false;
     };
     {
       name = "exception-contract";
@@ -52,11 +80,13 @@ let all_rules =
         "failwith/invalid_arg inside an .mli-exported value requires an \
          @raise in the .mli doc comment";
       scopes = [ "lib/" ];
+      whole_program = false;
     };
     {
       name = "mli-coverage";
       summary = "every library module ships an interface";
       scopes = [ "lib/" ];
+      whole_program = false;
     };
     {
       name = "obs-naming";
@@ -64,6 +94,7 @@ let all_rules =
         "string literals registered with Obs follow the dotted.lowercase \
          metric naming scheme";
       scopes = [ "lib/" ];
+      whole_program = false;
     };
   ]
 
