@@ -18,6 +18,18 @@ open Atp_workloads
 open Atp_util
 
 (* ------------------------------------------------------------------ *)
+(* Exit-code taxonomy                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* 0 success; 2 usage error (bad flags or flag combinations, matching
+   cmdliner's own convention); 3 malformed input data (a trace file
+   that exists but cannot be parsed); 125 internal error.  Scripts can
+   tell "you called me wrong" from "your data is bad". *)
+let exit_usage = 2
+
+let exit_bad_input = 3
+
+(* ------------------------------------------------------------------ *)
 (* Shared arguments                                                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -39,6 +51,34 @@ let epsilon_arg =
   Arg.(
     value & opt float 0.01
     & info [ "epsilon" ] ~docv:"E" ~doc:"TLB-miss cost ε in the AT cost model.")
+
+let tcache_entries_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "tcache-entries" ] ~docv:"N"
+        ~doc:
+          "Victima-style reach extension: capacity of the cache-resident \
+           store that recovers TLB-evicted translations.  0 (default) \
+           disables the tier and reproduces the plain model exactly.")
+
+let tcache_latency_arg =
+  Arg.(
+    value & opt int 30
+    & info [ "tcache-latency" ] ~docv:"CYCLES"
+        ~doc:
+          "Cycles for a cache-hierarchy translation probe.  In the abstract \
+           cost model a recovered miss is billed \
+           ε·CYCLES/(levels·memory-latency) — its cost relative to a full \
+           radix walk.")
+
+(* A recovered miss costs a cache probe instead of a full radix walk;
+   scale ε by that ratio so --tcache-latency means the same thing in
+   the cycle-accurate walker and the abstract model. *)
+let tcache_epsilon ~epsilon ~tcache_latency =
+  let walk_cycles =
+    Page_table.levels * Walker.default_config.Walker.memory_latency
+  in
+  min epsilon (epsilon *. float_of_int tcache_latency /. float_of_int walk_cycles)
 
 let accesses_arg =
   Arg.(
@@ -216,12 +256,13 @@ let resume_arg =
            same $(b,--json) sweep; requires $(b,--json).")
 
 let sweep_cmd =
-  let run workload vpages ram tlb epsilon accesses warmup seed trace_file
-      json_path resume metrics trace_out trace_capacity =
+  let run workload vpages ram tlb epsilon tc_entries tc_latency accesses warmup
+      seed trace_file json_path resume metrics trace_out trace_capacity =
     if resume && json_path = None then begin
       prerr_endline "atsim: --resume requires --json PATH";
-      exit 2
+      exit exit_usage
     end;
+    let tc_eps = tcache_epsilon ~epsilon ~tcache_latency:tc_latency in
     (* Under the runner every size is a task with a private metric
        registry, so the sweep parallelizes and a killed run resumes.
        Event tracing shares one ring across tasks, which forces
@@ -241,16 +282,28 @@ let sweep_cmd =
             Machine.create
               ~obs:(Obs.Scope.v ~prefix:(Printf.sprintf "machine.h%d" h) reg)
               { Machine.default_config with
-                ram_pages = ram; tlb_entries = tlb; huge_size = h; epsilon }
+                ram_pages = ram; tlb_entries = tlb; huge_size = h; epsilon;
+                tcache_entries = tc_entries }
           in
           let c = Machine.run ~warmup:warmup_trace m trace in
+          (* With the tier off, rows (and the whole stream) are
+             byte-identical to a pre-tier sweep. *)
           Obs.Json.Obj
-            [
-              ("h", Obs.Json.Int h);
-              ("ios", Obs.Json.Int c.Machine.ios);
-              ("tlb_misses", Obs.Json.Int c.Machine.tlb_misses);
-              ("cost", Obs.Json.Float (Machine.cost ~epsilon c));
-            ])
+            ([
+               ("h", Obs.Json.Int h);
+               ("ios", Obs.Json.Int c.Machine.ios);
+               ("tlb_misses", Obs.Json.Int c.Machine.tlb_misses);
+             ]
+            @ (if tc_entries > 0 then
+                 [ ("tcache_hits", Obs.Json.Int c.Machine.tcache_hits) ]
+               else [])
+            @ [
+                ( "cost",
+                  Obs.Json.Float
+                    (if tc_entries > 0 then
+                       Machine.cost_with_reach ~epsilon ~tcache_epsilon:tc_eps c
+                     else Machine.cost ~epsilon c) );
+              ]))
     in
     let sizes =
       List.filter (fun h -> h <= ram) [ 1; 2; 4; 8; 16; 32; 64; 128; 256; 512; 1024 ]
@@ -258,7 +311,7 @@ let sweep_cmd =
     let spec =
       Atp_exp.Spec.v ~name:"sweep"
         ~params:
-          [
+          ([
             ("ram", Obs.Json.Int ram);
             ("tlb", Obs.Json.Int tlb);
             ("epsilon", Obs.Json.Float epsilon);
@@ -267,6 +320,13 @@ let sweep_cmd =
             ("seed", Obs.Json.Int seed);
             ("vpages", Obs.Json.Int vpages);
           ]
+          @
+          if tc_entries > 0 then
+            [
+              ("tcache_entries", Obs.Json.Int tc_entries);
+              ("tcache_latency", Obs.Json.Int tc_latency);
+            ]
+          else [])
         (List.map task sizes)
     in
     let config =
@@ -330,6 +390,7 @@ let sweep_cmd =
        ~doc:"Huge-page-size sweep (the Figure 1 experiment) on a workload.")
     Term.(
       const run $ workload_arg $ vpages_arg $ ram_arg $ tlb_arg $ epsilon_arg
+      $ tcache_entries_arg $ tcache_latency_arg
       $ accesses_arg $ warmup_arg $ seed_arg $ trace_file_arg $ json_arg
       $ resume_arg $ metrics_arg $ trace_out_arg $ trace_capacity_arg)
 
@@ -727,13 +788,13 @@ let trace_import_cmd =
           Format.eprintf
             "atsim: %s is already a native %a trace; use `atsim trace pack`@."
             src Trace.pp_format f;
-          exit 2)
+          exit exit_usage)
     in
     let stats =
       try Import.import_file ~chunk_size:chunk ~config ~format ~src ~dst ()
       with Trace.Parse_error { path; what } ->
         Format.eprintf "atsim: %s: %s@." path what;
-        exit 2
+        exit exit_bad_input
     in
     Format.printf "imported %s -> %s: format=%a page_bits=%d %a@." src dst
       Import.pp_format format page_bits Import.pp_stats stats;
@@ -869,7 +930,8 @@ let thp_cmd =
 (* ------------------------------------------------------------------ *)
 
 let compare_cmd =
-  let run workload vpages ram tlb epsilon accesses warmup seed huge_size =
+  let run workload vpages ram tlb epsilon tc_entries tc_latency accesses warmup
+      seed huge_size =
     let wl = mk_workload workload ~vpages ~seed in
     let warmup_trace = Workload.generate wl warmup in
     let trace = Workload.generate wl accesses in
@@ -883,21 +945,34 @@ let compare_cmd =
         Atp_core.Scheme.decoupled ~tlb_entries:tlb ~ram_pages:ram ~w:64 ();
         Atp_core.Scheme.hybrid ~tlb_entries:tlb ~ram_pages:ram ~chunk:4 ~w:64 ();
       ]
+      @
+      (* Reach extension enters the line-up only when asked for, so the
+         default output is unchanged. *)
+      if tc_entries > 0 then
+        [
+          Atp_core.Scheme.physical_reach ~tlb_entries:tlb ~ram_pages:ram
+            ~huge_size:1 ~tcache_entries:tc_entries ();
+        ]
+      else []
     in
+    let tc_eps = tcache_epsilon ~epsilon ~tcache_latency:tc_latency in
     Format.printf "%-16s %14s %14s %14s@." "scheme" "IOs" "TLB events"
       (Printf.sprintf "cost(e=%g)" epsilon);
     List.iter
       (fun (name, ios, tlb_events, cost) ->
         Format.printf "%-16s %14d %14d %14.1f@." name ios tlb_events cost)
-      (Atp_core.Scheme.compare_all ~warmup:warmup_trace ~epsilon schemes trace)
+      (Atp_core.Scheme.compare_all ~warmup:warmup_trace ~tcache_epsilon:tc_eps
+         ~epsilon schemes trace)
   in
   Cmd.v
     (Cmd.info "compare"
        ~doc:
          "Compare every memory-management scheme (physical, THP, superpage, \
-          decoupled, hybrid) on one workload.")
+          decoupled, hybrid, and — with --tcache-entries — Victima-style \
+          reach extension) on one workload.")
     Term.(
       const run $ workload_arg $ vpages_arg $ ram_arg $ tlb_arg $ epsilon_arg
+      $ tcache_entries_arg $ tcache_latency_arg
       $ accesses_arg $ warmup_arg $ seed_arg
       $ Arg.(
           value & opt int 512
@@ -906,9 +981,10 @@ let compare_cmd =
 let () =
   let doc = "Paging and the address-translation problem: simulators and schemes" in
   let info = Cmd.info "atsim" ~version:"1.0.0" ~doc in
-  (* A malformed trace file is a user error, not an internal one: any
-     Parse_error that escapes a subcommand exits like a CLI usage
-     failure instead of cmdliner's uncaught-exception report. *)
+  (* A malformed trace file is a data error, not an internal one nor a
+     usage mistake: any Parse_error that escapes a subcommand exits
+     with the malformed-input code (3) and a uniform path: message —
+     distinct from flag errors (2) and internal errors (125). *)
   exit
     (try
        Cmd.eval ~catch:false
@@ -927,7 +1003,7 @@ let () =
      with
      | Trace.Parse_error { path; what } ->
        Format.eprintf "atsim: %s: %s@." path what;
-       2
+       exit_bad_input
      | e ->
        (* mirror cmdliner's default uncaught-exception report *)
        let bt = Printexc.get_raw_backtrace () in

@@ -14,13 +14,18 @@ type t = {
   access : int -> unit;
   ios : unit -> int;  (** base-page IOs so far *)
   tlb_events : unit -> int;  (** TLB misses/fills so far (ε-priced) *)
+  cheap_events : unit -> int;
+      (** misses recovered from a cache-resident translation tier
+          (tcache_ε-priced; 0 for schemes without reach extension) *)
   decode_misses : unit -> int;  (** ε-priced decoding misses (0 for
                                     schemes without an encoder) *)
   reset : unit -> unit;  (** zero the counters, keep the state *)
 }
 
-val cost : epsilon:float -> t -> float
-(** [ios + ε·(tlb_events + decode_misses)], read from the counters. *)
+val cost : ?tcache_epsilon:float -> epsilon:float -> t -> float
+(** [ios + ε·(tlb_events + decode_misses) + tcache_ε·cheap_events],
+    read from the counters.  [tcache_epsilon] defaults to 0 (cheap
+    events free), which only matters for reach-extended schemes. *)
 
 val run : ?warmup:int array -> t -> int array -> t
 (** Play warmup, reset counters, play the trace; returns the scheme
@@ -29,6 +34,22 @@ val run : ?warmup:int array -> t -> int array -> t
 val physical :
   ?tlb_entries:int -> ?seed:int -> ram_pages:int -> huge_size:int -> unit -> t
 (** The Section 6 machine at a fixed huge-page size. *)
+
+val physical_reach :
+  ?tlb_entries:int ->
+  ?seed:int ->
+  ram_pages:int ->
+  huge_size:int ->
+  tcache_entries:int ->
+  unit ->
+  t
+(** The Section 6 machine with Victima-style reach extension: a
+    cache-resident victim store of [tcache_entries] behind the TLB.
+    Recovered misses surface as [cheap_events]; [tlb_events] counts
+    only full-priced misses, so {!cost} with a [tcache_epsilon] prices
+    the two tiers separately.
+
+    @raise Invalid_argument if [tcache_entries < 1]. *)
 
 val thp :
   ?base_tlb_entries:int -> ?huge_tlb_entries:int -> ram_pages:int ->
@@ -56,9 +77,11 @@ val hybrid :
 
 val compare_all :
   ?warmup:int array ->
+  ?tcache_epsilon:float ->
   epsilon:float ->
   t list ->
   int array ->
   (string * int * int * float) list
 (** Run every scheme on the same trace; returns
-    [(name, ios, tlb_events, cost)] rows. *)
+    [(name, ios, tlb_events + cheap_events, cost)] rows (the event
+    column counts every TLB miss, however priced). *)

@@ -7,6 +7,7 @@ type config = {
   tlb_entries : int;
   huge_size : int;
   epsilon : float;
+  tcache_entries : int;
   ram_policy : (module Policy.S);
   tlb_policy : (module Policy.S);
   seed : int;
@@ -18,6 +19,7 @@ let default_config =
     tlb_entries = 1536;
     huge_size = 1;
     epsilon = 0.01;
+    tcache_entries = 0;
     ram_policy = (module Lru : Policy.S);
     tlb_policy = (module Lru : Policy.S);
     seed = 42;
@@ -27,16 +29,28 @@ type counters = {
   accesses : int;
   tlb_hits : int;
   tlb_misses : int;
+  tcache_hits : int;
   page_faults : int;
   ios : int;
 }
 
 let cost ~epsilon c = float_of_int c.ios +. (epsilon *. float_of_int c.tlb_misses)
 
+let cost_with_reach ~epsilon ~tcache_epsilon c =
+  if tcache_epsilon < 0.0 || tcache_epsilon > epsilon then
+    invalid_arg "Machine.cost_with_reach: need 0 <= tcache_epsilon <= epsilon";
+  float_of_int c.ios
+  +. (epsilon *. float_of_int (c.tlb_misses - c.tcache_hits))
+  +. (tcache_epsilon *. float_of_int c.tcache_hits)
+
 type t = {
   cfg : config;
   huge_shift : int;
   tlb : int Atp_tlb.Tlb.t;          (* huge page -> base frame *)
+  (* Victima-style victim store: translations the TLB evicts survive
+     here (the data-cache hierarchy) and can be recovered at a cost
+     between a TLB hit and a full miss.  [None] when disabled. *)
+  tcache : int Atp_tlb.Tlb.t option;
   ram : Policy.instance;            (* residency of huge pages *)
   frame_of : Int_table.t;           (* huge page -> base frame *)
   buddy : Buddy.t;
@@ -44,6 +58,7 @@ type t = {
   c_accesses : Obs.Counter.t;
   c_tlb_hits : Obs.Counter.t;
   c_tlb_misses : Obs.Counter.t;
+  c_tcache_hits : Obs.Counter.t;
   c_page_faults : Obs.Counter.t;
   c_ios : Obs.Counter.t;
 }
@@ -64,14 +79,28 @@ let create ?obs cfg =
   let huge_frames = cfg.ram_pages / cfg.huge_size in
   if huge_frames < 1 then
     invalid_arg "Machine.create: RAM smaller than one huge page";
+  if cfg.tcache_entries < 0 then
+    invalid_arg "Machine.create: negative tcache_entries";
   let rng = Prng.create ~seed:cfg.seed () in
   let obs = match obs with Some o -> o | None -> Obs.Scope.null () in
+  (* Keep the obs snapshot byte-identical to a pre-tier machine when
+     the tier is off: its counter then lives in a throwaway registry. *)
+  let tcache_obs =
+    if cfg.tcache_entries > 0 then obs else Obs.Scope.null ()
+  in
   {
     cfg;
     huge_shift;
     tlb =
       Atp_tlb.Tlb.create ~policy:cfg.tlb_policy ~rng:(Prng.split rng)
         ~obs:(Obs.Scope.sub obs "tlb") ~entries:cfg.tlb_entries ();
+    tcache =
+      (if cfg.tcache_entries > 0 then
+         Some
+           (Atp_tlb.Tlb.create
+              ~obs:(Obs.Scope.sub tcache_obs "tcache")
+              ~entries:cfg.tcache_entries ())
+       else None);
     ram = Policy.instantiate cfg.ram_policy ~rng:(Prng.split rng)
             ~capacity:huge_frames ();
     frame_of = Int_table.create ();
@@ -80,6 +109,7 @@ let create ?obs cfg =
     c_accesses = Obs.Scope.counter obs "accesses";
     c_tlb_hits = Obs.Scope.counter obs "tlb_hits";
     c_tlb_misses = Obs.Scope.counter obs "tlb_misses";
+    c_tcache_hits = Obs.Scope.counter tcache_obs "tcache_hits";
     c_page_faults = Obs.Scope.counter obs "page_faults";
     c_ios = Obs.Scope.counter obs "ios";
   }
@@ -91,6 +121,7 @@ let counters t =
     accesses = Obs.Counter.value t.c_accesses;
     tlb_hits = Obs.Counter.value t.c_tlb_hits;
     tlb_misses = Obs.Counter.value t.c_tlb_misses;
+    tcache_hits = Obs.Counter.value t.c_tcache_hits;
     page_faults = Obs.Counter.value t.c_page_faults;
     ios = Obs.Counter.value t.c_ios;
   }
@@ -99,6 +130,7 @@ let reset_counters t =
   Obs.Counter.reset t.c_accesses;
   Obs.Counter.reset t.c_tlb_hits;
   Obs.Counter.reset t.c_tlb_misses;
+  Obs.Counter.reset t.c_tcache_hits;
   Obs.Counter.reset t.c_page_faults;
   Obs.Counter.reset t.c_ios
 
@@ -117,8 +149,13 @@ let ensure_resident t hu =
        ignore (Int_table.remove t.frame_of victim);
        Buddy.free t.buddy ~base ~order:t.huge_shift;
        Obs.Trace.record t.tr Obs.Event.Eviction victim hu;
-       (* The victim's translation is stale: shoot it down (free). *)
-       ignore (Atp_tlb.Tlb.invalidate t.tlb victim));
+       (* The victim's translation is stale: shoot it down (free) —
+          in the cache-resident tier too, or it would keep serving a
+          dead mapping. *)
+       ignore (Atp_tlb.Tlb.invalidate t.tlb victim);
+       (match t.tcache with
+        | Some tc -> ignore (Atp_tlb.Tlb.invalidate tc victim)
+        | None -> ()));
     let base =
       match Buddy.alloc t.buddy ~order:t.huge_shift with
       | Some base -> base
@@ -132,6 +169,14 @@ let ensure_resident t hu =
     Obs.Counter.add t.c_ios t.cfg.huge_size;
     Obs.Trace.record t.tr Obs.Event.Io hu t.cfg.huge_size;
     base
+
+(* A TLB insert's victim falls into the cache-resident victim store
+   instead of vanishing (Victima caches TLB-evicted PTEs). *)
+let fill_tlb t hu base =
+  match (Atp_tlb.Tlb.insert t.tlb hu base, t.tcache) with
+  | Some (victim, victim_base), Some tc ->
+    ignore (Atp_tlb.Tlb.insert tc victim victim_base)
+  | (Some _ | None), _ -> ()
 
 let access t vpage =
   if vpage < 0 then invalid_arg "Machine.access: negative page";
@@ -150,8 +195,27 @@ let access t vpage =
   | None ->
     Obs.Counter.incr t.c_accesses;
     Obs.Counter.incr t.c_tlb_misses;
-    let base = ensure_resident t hu in
-    ignore (Atp_tlb.Tlb.insert t.tlb hu base)
+    (match t.tcache with
+     | Some tc when Atp_tlb.Tlb.mem tc hu ->
+       (* Recovered from the cache hierarchy: still a TLB miss, but a
+          cheap one (cost_with_reach charges tcache_epsilon, not
+          epsilon).  A tcache entry implies residency — eviction shoots
+          the tier down — so no IO can be due. *)
+       Obs.Counter.incr t.c_tcache_hits;
+       let base =
+         match Atp_tlb.Tlb.lookup tc hu with
+         | Some base -> base
+         | None -> assert false
+       in
+       (match t.ram.Policy.access hu with
+        | Policy.Hit -> ()
+        | Policy.Miss _ -> assert false);
+       (* Exclusive: the recovered translation migrates back up. *)
+       ignore (Atp_tlb.Tlb.invalidate tc hu);
+       fill_tlb t hu base
+     | Some _ | None ->
+       let base = ensure_resident t hu in
+       fill_tlb t hu base)
 
 let run ?warmup t trace =
   (match warmup with
@@ -164,6 +228,7 @@ let run ?warmup t trace =
 
 let pp_counters ppf c =
   Format.fprintf ppf
-    "accesses=%a tlb-hits=%a tlb-misses=%a faults=%a ios=%a"
+    "accesses=%a tlb-hits=%a tlb-misses=%a tcache-hits=%a faults=%a ios=%a"
     Stats.pp_count c.accesses Stats.pp_count c.tlb_hits Stats.pp_count
-    c.tlb_misses Stats.pp_count c.page_faults Stats.pp_count c.ios
+    c.tlb_misses Stats.pp_count c.tcache_hits Stats.pp_count c.page_faults
+    Stats.pp_count c.ios

@@ -17,25 +17,42 @@ type config = {
   tlb_entries : int;  (** ℓ *)
   huge_size : int;  (** h, a power of two, in base pages *)
   epsilon : float;  (** ε, the TLB-miss cost *)
+  tcache_entries : int;
+      (** capacity of the Victima-style cache-resident victim store
+          behind the TLB; 0 disables it (default 0), keeping
+          behaviour and obs output byte-identical to the two-level
+          model *)
   ram_policy : (module Atp_paging.Policy.S);
   tlb_policy : (module Atp_paging.Policy.S);
   seed : int;
 }
 
 val default_config : config
-(** 1536 TLB entries, LRU everywhere, ε = 0.01, h = 1; RAM size must
-    be set per experiment. *)
+(** 1536 TLB entries, LRU everywhere, ε = 0.01, h = 1, reach extension
+    off; RAM size must be set per experiment. *)
 
 type counters = {
   accesses : int;
   tlb_hits : int;
   tlb_misses : int;
+  tcache_hits : int;
+      (** the subset of [tlb_misses] recovered from the cache-resident
+          victim store instead of paying a full miss *)
   page_faults : int;  (** huge-unit faults *)
   ios : int;  (** base-page IOs: [huge_size] per fault *)
 }
 
 val cost : epsilon:float -> counters -> float
-(** [ios + ε * tlb_misses]. *)
+(** [ios + ε * tlb_misses]: the paper's model, which charges every
+    TLB miss the full ε regardless of reach extension. *)
+
+val cost_with_reach : epsilon:float -> tcache_epsilon:float -> counters -> float
+(** [ios + ε·(tlb_misses − tcache_hits) + tcache_ε·tcache_hits]: the
+    reach-extended cost model, where a miss recovered from the
+    cache-resident tier costs [tcache_epsilon] instead of ε.  Equal to
+    {!cost} when the tier is disabled ([tcache_hits = 0]).
+
+    @raise Invalid_argument unless [0 <= tcache_epsilon <= epsilon]. *)
 
 type t
 
@@ -44,10 +61,13 @@ val create : ?obs:Atp_obs.Scope.t -> config -> t
     if fewer than one huge page fits in RAM.  [obs] registers
     [accesses]/[tlb_hits]/[tlb_misses]/[page_faults]/[ios] counters
     (mirroring {!counters}) plus the TLB's own under the sub-scope
-    [tlb], and emits [io]/[eviction] trace events.
+    [tlb], and emits [io]/[eviction] trace events.  When the reach
+    tier is enabled it additionally registers [tcache_hits] and the
+    tier's TLB counters under [tcache]; when disabled those names are
+    absent from the snapshot.
 
     @raise Invalid_argument unless [huge_size] is a power of two no
-    larger than RAM. *)
+    larger than RAM and [tcache_entries >= 0]. *)
 
 val config : t -> config
 

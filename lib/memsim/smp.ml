@@ -8,6 +8,8 @@ type config = {
   huge_size : int;
   epsilon : float;
   ipi_epsilon : float;
+  tcache_entries : int;
+  tcache_epsilon : float;
 }
 
 let default_config =
@@ -18,23 +20,37 @@ let default_config =
     huge_size = 1;
     epsilon = 0.01;
     ipi_epsilon = 0.01;
+    tcache_entries = 0;
+    tcache_epsilon = 0.003;
   }
 
 type counters = {
   accesses : int;
   tlb_misses : int;
+  tcache_hits : int;
   ios : int;
   shootdown_events : int;
   ipis : int;
 }
 
 let zero =
-  { accesses = 0; tlb_misses = 0; ios = 0; shootdown_events = 0; ipis = 0 }
+  {
+    accesses = 0;
+    tlb_misses = 0;
+    tcache_hits = 0;
+    ios = 0;
+    shootdown_events = 0;
+    ipis = 0;
+  }
 
 type t = {
   cfg : config;
   huge_shift : int;
   tlbs : int Atp_tlb.Tlb.t array;  (* per core: huge page -> base frame *)
+  (* One shared cache-resident victim store (the LLC is shared, unlike
+     the per-core TLBs): TLB-evicted translations from every core land
+     here and any core can recover them.  [None] when disabled. *)
+  tcache : int Atp_tlb.Tlb.t option;
   ram : Policy.instance;  (* shared residency of huge units *)
   frame_of : Int_table.t;
   buddy : Buddy.t;
@@ -55,6 +71,8 @@ let create cfg =
     | None -> invalid_arg "Smp.create: huge_size must be a power of two"
   in
   if cfg.cores < 1 then invalid_arg "Smp.create: need at least one core";
+  if cfg.tcache_entries < 0 then
+    invalid_arg "Smp.create: negative tcache_entries";
   let huge_frames = cfg.ram_pages / cfg.huge_size in
   if huge_frames < 1 then invalid_arg "Smp.create: RAM too small";
   {
@@ -63,6 +81,10 @@ let create cfg =
     tlbs =
       Array.init cfg.cores (fun _ ->
           Atp_tlb.Tlb.create ~entries:cfg.tlb_entries_per_core ());
+    tcache =
+      (if cfg.tcache_entries > 0 then
+         Some (Atp_tlb.Tlb.create ~entries:cfg.tcache_entries ())
+       else None);
     ram = Policy.instantiate (module Lru) ~capacity:huge_frames ();
     frame_of = Int_table.create ();
     buddy = Buddy.create ~frames:cfg.ram_pages;
@@ -74,7 +96,11 @@ let counters t = t.counters
 let reset_counters t = t.counters <- zero
 
 (* Invalidate a victim's translation on every core; remote cores that
-   held it receive an IPI (the initiator flushes locally for free). *)
+   held it receive an IPI (the initiator flushes locally for free).
+   The shared cache-resident tier is shot down too — a reach-extended
+   system that skipped this would serve dead mappings after the unmap
+   (no IPI: the store is shared, so one local invalidation covers every
+   core). *)
 let shootdown t ~initiator hu =
   let remote = ref 0 in
   let local = ref false in
@@ -83,7 +109,12 @@ let shootdown t ~initiator hu =
       if Atp_tlb.Tlb.invalidate tlb hu then
         if core = initiator then local := true else incr remote)
     t.tlbs;
-  if !remote > 0 || !local then
+  let in_tcache =
+    match t.tcache with
+    | Some tc -> Atp_tlb.Tlb.invalidate tc hu
+    | None -> false
+  in
+  if !remote > 0 || !local || in_tcache then
     t.counters <-
       {
         t.counters with
@@ -111,6 +142,15 @@ let ensure_resident t ~initiator hu =
     t.counters <- { t.counters with ios = t.counters.ios + t.cfg.huge_size };
     base
 
+(* Fill one core's TLB; the evicted translation falls into the shared
+   cache-resident store rather than vanishing (Victima: TLB-evicted
+   PTEs are cached in the LLC). *)
+let fill_tlb t tlb hu base =
+  match (Atp_tlb.Tlb.insert tlb hu base, t.tcache) with
+  | Some (victim, victim_base), Some tc ->
+    ignore (Atp_tlb.Tlb.insert tc victim victim_base)
+  | (Some _ | None), _ -> ()
+
 let access t ~core vpage =
   if core < 0 || core >= t.cfg.cores then invalid_arg "Smp.access: bad core";
   if vpage < 0 then invalid_arg "Smp.access: negative page";
@@ -126,12 +166,33 @@ let access t ~core vpage =
      | Policy.Miss _ -> assert false)
   | None ->
     t.counters <- { t.counters with tlb_misses = t.counters.tlb_misses + 1 };
-    let base = ensure_resident t ~initiator:core hu in
-    ignore (Atp_tlb.Tlb.insert tlb hu base)
+    (match t.tcache with
+     | Some tc when Atp_tlb.Tlb.mem tc hu ->
+       (* Recovered from the shared store: a cheap miss (tcache_ε, not
+          ε), and an entry implies residency because shootdowns
+          invalidate the store. *)
+       t.counters <-
+         { t.counters with tcache_hits = t.counters.tcache_hits + 1 };
+       let base =
+         match Atp_tlb.Tlb.lookup tc hu with
+         | Some base -> base
+         | None -> assert false
+       in
+       (match t.ram.Policy.access hu with
+        | Policy.Hit -> ()
+        | Policy.Miss _ -> assert false);
+       ignore (Atp_tlb.Tlb.invalidate tc hu);
+       fill_tlb t tlb hu base
+     | Some _ | None ->
+       let base = ensure_resident t ~initiator:core hu in
+       fill_tlb t tlb hu base)
 
 let cost cfg c =
+  if cfg.tcache_epsilon < 0.0 || cfg.tcache_epsilon > cfg.epsilon then
+    invalid_arg "Smp.cost: need 0 <= tcache_epsilon <= epsilon";
   float_of_int c.ios
-  +. (cfg.epsilon *. float_of_int c.tlb_misses)
+  +. (cfg.epsilon *. float_of_int (c.tlb_misses - c.tcache_hits))
+  +. (cfg.tcache_epsilon *. float_of_int c.tcache_hits)
   +. (cfg.ipi_epsilon *. float_of_int c.ipis)
 
 let run_with assign ?warmup t trace =
@@ -152,6 +213,7 @@ let run_partitioned ?warmup t trace =
 
 let pp_counters ppf c =
   Format.fprintf ppf
-    "accesses=%a tlb-misses=%a ios=%a shootdowns=%a ipis=%a"
-    Stats.pp_count c.accesses Stats.pp_count c.tlb_misses Stats.pp_count c.ios
-    Stats.pp_count c.shootdown_events Stats.pp_count c.ipis
+    "accesses=%a tlb-misses=%a tcache-hits=%a ios=%a shootdowns=%a ipis=%a"
+    Stats.pp_count c.accesses Stats.pp_count c.tlb_misses Stats.pp_count
+    c.tcache_hits Stats.pp_count c.ios Stats.pp_count c.shootdown_events
+    Stats.pp_count c.ipis

@@ -19,15 +19,25 @@ type config = {
   huge_size : int;  (** power of two; 1 = no huge pages *)
   epsilon : float;
   ipi_epsilon : float;  (** cost of one remote TLB invalidation *)
+  tcache_entries : int;
+      (** capacity of the shared (Victima-style, LLC-resident) victim
+          store behind the per-core TLBs; 0 disables it (default 0) *)
+  tcache_epsilon : float;
+      (** cost of a miss recovered from the shared store — strictly
+          between a TLB hit (0) and a full miss (ε) *)
 }
 
 val default_config : config
 (** 4 cores, 384 entries each (1536 split 4 ways), h = 1, ε = 0.01,
-    IPI cost = ε. *)
+    IPI cost = ε, reach extension off (tcache_ε = 0.003 when
+    enabled). *)
 
 type counters = {
   accesses : int;
   tlb_misses : int;  (** summed over cores *)
+  tcache_hits : int;
+      (** the subset of [tlb_misses] recovered from the shared
+          cache-resident store *)
   ios : int;
   shootdown_events : int;  (** unmaps that required any invalidation *)
   ipis : int;  (** remote invalidations delivered (initiator excluded) *)
@@ -37,7 +47,8 @@ type t
 
 val create : config -> t
 (** @raise Invalid_argument if there are no cores, RAM is smaller than
-    one huge page, or [huge_size] is not a power of two. *)
+    one huge page, [huge_size] is not a power of two, or
+    [tcache_entries < 0]. *)
 
 val access : t -> core:int -> int -> unit
 (** Raises [Invalid_argument] for an out-of-range core.
@@ -49,7 +60,11 @@ val counters : t -> counters
 val reset_counters : t -> unit
 
 val cost : config -> counters -> float
-(** [ios + ε·tlb_misses + ipi_ε·ipis]. *)
+(** [ios + ε·(tlb_misses − tcache_hits) + tcache_ε·tcache_hits
+    + ipi_ε·ipis] — with the store disabled ([tcache_hits = 0]) this
+    is the original [ios + ε·tlb_misses + ipi_ε·ipis].
+
+    @raise Invalid_argument unless [0 <= tcache_epsilon <= epsilon]. *)
 
 val run_shared : ?warmup:int array -> t -> int array -> counters
 (** Replay a single page trace round-robin across the cores: a shared

@@ -75,6 +75,8 @@ let create cfg =
 
 let counters t = t.counters
 
+let walker_stats t = Walker.stats t.walker
+
 let reset_counters t = t.counters <- zero
 
 let resident_pages t = Page_list.length t.resident
@@ -105,16 +107,24 @@ let release_page t vpage =
   ignore (Int_table.remove t.swapped vpage);
   ignore (Atp_tlb.Tlb.invalidate t.tlb vpage)
 
+(* Above this region size a full walk-cache flush is cheaper than
+   per-page INVLPG-style invalidation — the same trade Linux makes
+   with its tlb_single_page_flush_ceiling. *)
+let full_flush_ceiling = 32
+
 let munmap t ~start ~pages =
   match Int_table.find t.region_len start with
   | Some len when len = pages ->
     for v = start to start + pages - 1 do
-      release_page t v
+      release_page t v;
+      (* INVLPG-style: drop only this page's interior prefixes and its
+         cache-resident PTE, so one unmap no longer destroys the
+         walker's whole working set. *)
+      if pages <= full_flush_ceiling then Walker.invalidate_page t.walker v
     done;
     ignore (Int_table.remove t.region_len start);
     ignore (Page_list.remove t.regions start);
-    (* Interior entries may be stale in the PWC. *)
-    Walker.invalidate t.walker
+    if pages > full_flush_ceiling then Walker.invalidate t.walker
   | Some _ -> invalid_arg "Vmm.munmap: length mismatch"
   | None -> invalid_arg "Vmm.munmap: unknown region"
 
@@ -146,6 +156,10 @@ let reclaim_frame t =
         let frame = m.Page_table.frame in
         ignore (Page_table.unmap t.table ~vpage:victim);
         ignore (Atp_tlb.Tlb.invalidate t.tlb victim);
+        (* The victim's leaf PTE (and covering interior prefixes) are
+           stale in the walk caches: a cache-resident translation tier
+           would otherwise serve a dead mapping. *)
+        Walker.invalidate_page t.walker victim;
         Buddy.free t.buddy ~base:frame ~order:0;
         frame
       end
@@ -203,7 +217,11 @@ let touch t vpage ~write =
        | Some m -> m.Page_table.frame
        | None -> fault_in t vpage
      in
-     ignore (Atp_tlb.Tlb.insert t.tlb vpage frame));
+     (* Victima-style: a TLB-evicted translation is handed down to the
+        walker's cache-resident tier (no-op when the tier is off). *)
+     (match Atp_tlb.Tlb.insert t.tlb vpage frame with
+      | Some (victim, _frame) -> Walker.deposit t.walker victim
+      | None -> ()));
   if write then ignore (Page_table.set_dirty t.table vpage)
 
 let read t vpage = touch t vpage ~write:false

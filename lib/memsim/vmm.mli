@@ -50,7 +50,10 @@ val mmap : t -> start:int -> pages:int -> unit
 
 val munmap : t -> start:int -> pages:int -> unit
 (** Invalidate a region: frees frames, forgets swap copies, shoots
-    down TLB entries.
+    down TLB entries, and invalidates the walker's caches — per page
+    (INVLPG-style, {!Walker.invalidate_page}) for small regions, one
+    full flush for bulk unmaps, so a single-page unmap no longer
+    destroys unrelated walk-cache state.
 
     @raise Invalid_argument if the region is unknown or its length does
     not match the mapping. *)
@@ -68,6 +71,10 @@ val write : t -> int -> unit
 val resident_pages : t -> int
 
 val counters : t -> counters
+
+val walker_stats : t -> Walker.stats
+(** The page-table walker's own statistics (PWC and cache-resident
+    translation-tier hits included). *)
 
 val reset_counters : t -> unit
 

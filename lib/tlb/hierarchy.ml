@@ -5,20 +5,36 @@ type config = {
   l2_entries : int;
   l1_latency : int;
   l2_latency : int;
+  tcache_entries : int;
+  tcache_latency : int;
 }
 
 let default_config =
-  { l1_entries = 64; l2_entries = 1536; l1_latency = 1; l2_latency = 7 }
+  {
+    l1_entries = 64;
+    l2_entries = 1536;
+    l1_latency = 1;
+    l2_latency = 7;
+    tcache_entries = 0;
+    tcache_latency = 30;
+  }
 
 type outcome =
   | L1_hit of int
   | L2_hit of int
+  | Tcache_hit of int
   | Miss of int
 
 type 'a t = {
   cfg : config;
   l1 : 'a Tlb.t;
   l2 : 'a Tlb.t;
+  (* Victima-style victim store behind the TLB hierarchy: translations
+     evicted from L2 survive in the data-cache hierarchy and can be
+     recovered at a latency between an L2 hit and a full walk.  [None]
+     when disabled, keeping behaviour byte-identical to a two-level
+     hierarchy. *)
+  tcache : 'a Tlb.t option;
   mutable total_cycles : int;
   mutable lookups : int;
   c_lookups : Obs.Counter.t;
@@ -26,11 +42,20 @@ type 'a t = {
 }
 
 let create ?(config = default_config) ?obs () =
+  if config.tcache_entries < 0 then
+    invalid_arg "Hierarchy.create: negative tcache_entries";
   let obs = match obs with Some o -> o | None -> Obs.Scope.null () in
   {
     cfg = config;
     l1 = Tlb.create ~obs:(Obs.Scope.sub obs "l1") ~entries:config.l1_entries ();
     l2 = Tlb.create ~obs:(Obs.Scope.sub obs "l2") ~entries:config.l2_entries ();
+    tcache =
+      (if config.tcache_entries > 0 then
+         Some
+           (Tlb.create
+              ~obs:(Obs.Scope.sub obs "tcache")
+              ~entries:config.tcache_entries ())
+       else None);
     total_cycles = 0;
     lookups = 0;
     c_lookups = Obs.Scope.counter obs "lookups";
@@ -40,6 +65,16 @@ let create ?(config = default_config) ?obs () =
 let observe_cycles t cycles =
   Obs.Counter.incr t.c_lookups;
   Obs.Histogram.observe t.h_latency cycles
+
+(* Refill both TLB levels after a hit below L2; an L2 victim falls
+   into the victim store rather than vanishing (Victima's exclusive
+   fill: TLB-evicted PTEs move to the cache hierarchy). *)
+let refill t key payload =
+  (match (Tlb.insert t.l2 key payload, t.tcache) with
+   | Some (victim, victim_payload), Some tc ->
+     ignore (Tlb.insert tc victim victim_payload)
+   | (Some _ | None), _ -> ());
+  ignore (Tlb.insert t.l1 key payload)
 
 let lookup t key =
   t.lookups <- t.lookups + 1;
@@ -60,16 +95,37 @@ let lookup t key =
        ignore (Tlb.insert t.l1 key payload);
        (Some payload, L2_hit cycles)
      | None ->
-       let cycles = t.cfg.l1_latency + t.cfg.l2_latency in
-       t.total_cycles <- t.total_cycles + cycles;
-       observe_cycles t cycles;
-       (None, Miss cycles))
+       (match t.tcache with
+        | Some tc when Tlb.probe_fast tc key ->
+          let payload =
+            match Tlb.peek tc key with Some p -> p | None -> assert false
+          in
+          let cycles =
+            t.cfg.l1_latency + t.cfg.l2_latency + t.cfg.tcache_latency
+          in
+          t.total_cycles <- t.total_cycles + cycles;
+          observe_cycles t cycles;
+          (* Exclusive: the recovered translation migrates back up. *)
+          ignore (Tlb.invalidate tc key);
+          refill t key payload;
+          (Some payload, Tcache_hit cycles)
+        | Some _ | None ->
+          let cycles = t.cfg.l1_latency + t.cfg.l2_latency in
+          let cycles =
+            match t.tcache with
+            | Some _ -> cycles + t.cfg.tcache_latency
+            | None -> cycles
+          in
+          t.total_cycles <- t.total_cycles + cycles;
+          observe_cycles t cycles;
+          (None, Miss cycles)))
 
 type chunk = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
 
 type batch_result = {
   l1_hits : int;
   l2_hits : int;
+  batch_tcache_hits : int;
   batch_misses : int;
   batch_cycles : int;
 }
@@ -78,13 +134,20 @@ type batch_result = {
    iteration is one table probe, one recency touch, and counter
    bumps — no option, tuple, or outcome allocation.  Effects are
    identical to calling [lookup] per key (same counters, histogram,
-   refill-on-L2-hit), minus the per-call boxing. *)
+   refill-on-L2-hit, victim-store recovery), minus the per-call
+   boxing. *)
 let[@atplint.hot] lookup_batch t ?on_miss (chunk : chunk) pos len =
   if pos < 0 || len < 0 || pos + len > Bigarray.Array1.dim chunk then
     invalid_arg "Hierarchy.lookup_batch";
   let on_miss = match on_miss with Some f -> f | None -> ignore in
-  let miss_latency = t.cfg.l1_latency + t.cfg.l2_latency in
-  let l1h = ref 0 and l2h = ref 0 and mis = ref 0 and cyc = ref 0 in
+  let l2_latency = t.cfg.l1_latency + t.cfg.l2_latency in
+  let miss_latency =
+    match t.tcache with
+    | Some _ -> l2_latency + t.cfg.tcache_latency
+    | None -> l2_latency
+  in
+  let l1h = ref 0 and l2h = ref 0 and tch = ref 0 and mis = ref 0 in
+  let cyc = ref 0 in
   for i = pos to pos + len - 1 do
     let key = Bigarray.Array1.unsafe_get chunk i in
     t.lookups <- t.lookups + 1;
@@ -95,8 +158,8 @@ let[@atplint.hot] lookup_batch t ?on_miss (chunk : chunk) pos len =
     end
     else if Tlb.probe_fast t.l2 key then begin
       incr l2h;
-      cyc := !cyc + miss_latency;
-      observe_cycles t miss_latency;
+      cyc := !cyc + l2_latency;
+      observe_cycles t l2_latency;
       (* Refill L1, as the scalar path does.  This branch already pays
          the L2 latency, so the option boxed by peek/insert is noise
          next to the modelled miss cost. *)
@@ -106,23 +169,44 @@ let[@atplint.hot] lookup_batch t ?on_miss (chunk : chunk) pos len =
       [@atplint.allow "hot-path-alloc-transitive"]
     end
     else begin
-      incr mis;
-      cyc := !cyc + miss_latency;
-      observe_cycles t miss_latency;
-      on_miss key
+      (* Below L2 the iteration already costs a modelled miss, so the
+         victim-store recovery may allocate like the scalar path. *)
+      (match t.tcache with
+       | Some tc when Tlb.probe_fast tc key ->
+         incr tch;
+         cyc := !cyc + miss_latency;
+         observe_cycles t miss_latency;
+         let payload =
+           match Tlb.peek tc key with Some p -> p | None -> assert false
+         in
+         ignore (Tlb.invalidate tc key);
+         refill t key payload
+       | Some _ | None ->
+         incr mis;
+         cyc := !cyc + miss_latency;
+         observe_cycles t miss_latency;
+         on_miss key)
+      [@atplint.allow "hot-path-alloc-transitive"]
     end
   done;
   t.total_cycles <- t.total_cycles + !cyc;
-  { l1_hits = !l1h; l2_hits = !l2h; batch_misses = !mis; batch_cycles = !cyc }
+  {
+    l1_hits = !l1h;
+    l2_hits = !l2h;
+    batch_tcache_hits = !tch;
+    batch_misses = !mis;
+    batch_cycles = !cyc;
+  }
 
-let insert t key payload =
-  ignore (Tlb.insert t.l2 key payload);
-  ignore (Tlb.insert t.l1 key payload)
+let insert t key payload = refill t key payload
 
 let invalidate t key =
   let a = Tlb.invalidate t.l1 key in
   let b = Tlb.invalidate t.l2 key in
-  a || b
+  let c =
+    match t.tcache with Some tc -> Tlb.invalidate tc key | None -> false
+  in
+  a || b || c
 
 let total_cycles t = t.total_cycles
 
@@ -131,6 +215,8 @@ let lookups t = t.lookups
 let l1_stats t = Tlb.stats t.l1
 
 let l2_stats t = Tlb.stats t.l2
+
+let tcache_stats t = Option.map Tlb.stats t.tcache
 
 let average_latency t =
   if t.lookups = 0 then 0.0

@@ -3,7 +3,18 @@
     the page walker is engaged.  The hierarchy is inclusive on fills
     (an L2 hit refills L1) and reports latency in cycles so the
     effective per-access translation cost can be compared against the
-    single-level model. *)
+    single-level model.
+
+    An optional third tier models Victima-style reach extension: a
+    victim store behind L2, standing in for leaf PTEs parked in the
+    data-cache hierarchy.  L2 evictions fall into it instead of
+    vanishing, and a lookup that misses both TLB levels can recover
+    the translation at [tcache_latency] extra cycles — strictly
+    between an L2 hit and a page walk.  The store is exclusive: a
+    recovered translation migrates back into L1/L2 and leaves the
+    store.  With [tcache_entries = 0] (the default) behaviour, cycle
+    accounting, and obs output are byte-identical to the two-level
+    hierarchy. *)
 
 type 'a t
 
@@ -12,6 +23,13 @@ type config = {
   l2_entries : int;  (** default 1536 *)
   l1_latency : int;  (** cycles on an L1 hit (default 1) *)
   l2_latency : int;  (** additional cycles on an L2 hit (default 7) *)
+  tcache_entries : int;
+      (** capacity of the cache-resident victim store; 0 disables the
+          tier (default 0) *)
+  tcache_latency : int;
+      (** additional cycles for the cache-hierarchy probe, paid below
+          L2 on hit and miss alike when the tier is enabled
+          (default 30) *)
 }
 
 val default_config : config
@@ -19,12 +37,18 @@ val default_config : config
 type outcome =
   | L1_hit of int  (** cycles *)
   | L2_hit of int
-  | Miss of int  (** cycles burned probing both levels *)
+  | Tcache_hit of int
+      (** recovered from the cache-resident victim store *)
+  | Miss of int  (** cycles burned probing every level *)
 
 val create : ?config:config -> ?obs:Atp_obs.Scope.t -> unit -> 'a t
 (** [obs] registers a [lookups] counter and a [lookup_cycles] histogram
     under the scope, and threads the sub-scopes [l1]/[l2] to the two
-    levels' TLB counters. *)
+    levels' TLB counters ([tcache] too when the victim store is
+    enabled; when disabled the snapshot is unchanged from a two-level
+    hierarchy).
+
+    @raise Invalid_argument if [tcache_entries < 0]. *)
 
 val lookup : 'a t -> int -> 'a option * outcome
 
@@ -35,6 +59,7 @@ type chunk = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
 type batch_result = {
   l1_hits : int;
   l2_hits : int;
+  batch_tcache_hits : int;
   batch_misses : int;
   batch_cycles : int;
 }
@@ -43,17 +68,19 @@ val lookup_batch :
   'a t -> ?on_miss:(int -> unit) -> chunk -> int -> int -> batch_result
 (** [lookup_batch t chunk pos len]: probe [len] keys of a decoded
     chunk with a branch-lean inner loop — the L1-hit iteration
-    allocates nothing.  Counter, histogram, cycle, and refill effects
-    are identical to [len] scalar {!lookup} calls; [on_miss] runs for
-    each key absent from both levels (the caller decides what to walk
-    and fill, as with the scalar miss).
+    allocates nothing.  Counter, histogram, cycle, refill, and
+    victim-store effects are identical to [len] scalar {!lookup}
+    calls; [on_miss] runs for each key absent from every level (the
+    caller decides what to walk and fill, as with the scalar miss).
     @raise Invalid_argument on a bad range. *)
 
 val insert : 'a t -> int -> 'a -> unit
-(** Fill both levels (as a page walk completion does). *)
+(** Fill both levels (as a page walk completion does).  When the
+    victim store is enabled, the L2 entry this fill evicts is
+    deposited there rather than dropped. *)
 
 val invalidate : 'a t -> int -> bool
-(** Shoot down in both levels. *)
+(** Shoot down in every level, the victim store included. *)
 
 val total_cycles : 'a t -> int
 
@@ -62,5 +89,8 @@ val lookups : 'a t -> int
 val l1_stats : 'a t -> Tlb.stats
 
 val l2_stats : 'a t -> Tlb.stats
+
+val tcache_stats : 'a t -> Tlb.stats option
+(** [None] iff the victim store is disabled. *)
 
 val average_latency : 'a t -> float

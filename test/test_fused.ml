@@ -288,20 +288,25 @@ let hierarchy_stats h =
   ( Atp_tlb.Hierarchy.lookups h,
     Atp_tlb.Hierarchy.total_cycles h,
     Atp_tlb.Hierarchy.l1_stats h,
-    Atp_tlb.Hierarchy.l2_stats h )
+    Atp_tlb.Hierarchy.l2_stats h,
+    Atp_tlb.Hierarchy.tcache_stats h )
 
 let prop_lookup_batch_equals_scalar =
   QCheck.Test.make ~count:60 ~name:"Hierarchy.lookup_batch = scalar lookups"
     QCheck.(
-      pair (int_range 1 40)
-        (list_of_size Gen.(int_range 1 400) (int_bound 200)))
-    (fun (universe, keys) ->
+      triple (int_range 1 40)
+        (list_of_size Gen.(int_range 1 400) (int_bound 200))
+        (* Victim store off, or small enough to churn. *)
+        (oneofl [ 0; 3; 8 ]))
+    (fun (universe, keys, tcache_entries) ->
       let keys = List.map (fun k -> k mod universe) keys in
       let config =
         { Atp_tlb.Hierarchy.l1_entries = 4;
           l2_entries = 16;
           l1_latency = 1;
           l2_latency = 7;
+          tcache_entries;
+          tcache_latency = 30;
         }
       in
       (* Scalar reference: lookup, walk + insert on miss. *)

@@ -168,9 +168,74 @@ let test_machine_warmup_separation () =
 
 let test_machine_cost_model () =
   let c =
-    { Machine.accesses = 100; tlb_hits = 90; tlb_misses = 10; page_faults = 2; ios = 4 }
+    { Machine.accesses = 100; tlb_hits = 90; tlb_misses = 10; tcache_hits = 0;
+      page_faults = 2; ios = 4 }
   in
-  check (Alcotest.float 1e-9) "cost" (4.0 +. 0.5) (Machine.cost ~epsilon:0.05 c)
+  check (Alcotest.float 1e-9) "cost" (4.0 +. 0.5) (Machine.cost ~epsilon:0.05 c);
+  (* Reach-extended model: with no tcache hits it degenerates to the
+     plain model; with hits, each one is re-billed at tcache_ε. *)
+  check (Alcotest.float 1e-9) "reach cost, tier idle" (4.0 +. 0.5)
+    (Machine.cost_with_reach ~epsilon:0.05 ~tcache_epsilon:0.01 c);
+  let c = { c with tcache_hits = 6 } in
+  check (Alcotest.float 1e-9) "reach cost"
+    (4.0 +. (0.05 *. 4.0) +. (0.01 *. 6.0))
+    (Machine.cost_with_reach ~epsilon:0.05 ~tcache_epsilon:0.01 c);
+  Alcotest.check_raises "tcache_epsilon above epsilon rejected"
+    (Invalid_argument
+       "Machine.cost_with_reach: need 0 <= tcache_epsilon <= epsilon")
+    (fun () ->
+      ignore (Machine.cost_with_reach ~epsilon:0.05 ~tcache_epsilon:0.06 c))
+
+let test_machine_tcache_recovers_tlb_victims () =
+  (* A TLB eviction deposits the translation into the victim store; the
+     next miss on that page recovers it without a fault. *)
+  let m =
+    Machine.create { (config ~ram:64 ~tlb:2 ~h:1) with tcache_entries = 16 }
+  in
+  Machine.access m 0;
+  (* Overflow the 2-entry TLB so page 0 falls into the store. *)
+  Machine.access m 1;
+  Machine.access m 2;
+  Machine.reset_counters m;
+  Machine.access m 0;
+  let c = Machine.counters m in
+  check Alcotest.int "miss counted" 1 c.Machine.tlb_misses;
+  check Alcotest.int "recovered from the store" 1 c.Machine.tcache_hits;
+  check Alcotest.int "no fault" 0 c.Machine.page_faults
+
+let test_machine_eviction_invalidates_tcache () =
+  (* A page evicted from RAM must disappear from the victim store too,
+     not just from the TLB — otherwise a later access would be served a
+     dead mapping without re-faulting. *)
+  let m =
+    Machine.create { (config ~ram:2 ~tlb:2 ~h:1) with tcache_entries = 16 }
+  in
+  Machine.access m 0;
+  (* Push page 0 out of the TLB into the store... *)
+  Machine.access m 1;
+  (* ...then out of RAM entirely. *)
+  Machine.access m 2;
+  Machine.reset_counters m;
+  Machine.access m 0;
+  let c = Machine.counters m in
+  check Alcotest.int "no stale recovery" 0 c.Machine.tcache_hits;
+  check Alcotest.int "page is re-faulted" 1 c.Machine.page_faults
+
+let test_machine_tcache_disabled_identical () =
+  (* tcache_entries = 0 must leave counters and the obs snapshot
+     byte-identical to the pre-tier machine. *)
+  let trace = Array.init 5000 (fun i -> (i * 353) land 2047) in
+  let run cfg =
+    let reg = Atp_obs.Registry.create () in
+    let m = Machine.create ~obs:(Atp_obs.Scope.v ~prefix:"machine" reg) cfg in
+    let c = Machine.run m trace in
+    (c, Atp_obs.Registry.snapshot_string reg)
+  in
+  let base = config ~ram:256 ~tlb:8 ~h:1 in
+  let a, snap_a = run base in
+  let b, snap_b = run { base with tcache_entries = 0 } in
+  check Alcotest.bool "counters identical" true (a = b);
+  check Alcotest.string "obs snapshot identical" snap_a snap_b
 
 let test_machine_huge_vs_small_tradeoff () =
   (* The qualitative Figure 1 effect on a small bimodal workload:
@@ -216,6 +281,12 @@ let () =
           Alcotest.test_case "shootdown" `Quick test_machine_tlb_shootdown_on_eviction;
           Alcotest.test_case "warmup" `Quick test_machine_warmup_separation;
           Alcotest.test_case "cost model" `Quick test_machine_cost_model;
+          Alcotest.test_case "tcache recovers victims" `Quick
+            test_machine_tcache_recovers_tlb_victims;
+          Alcotest.test_case "eviction invalidates tcache" `Quick
+            test_machine_eviction_invalidates_tcache;
+          Alcotest.test_case "tcache disabled identical" `Quick
+            test_machine_tcache_disabled_identical;
           Alcotest.test_case "figure-1 shape" `Quick test_machine_huge_vs_small_tradeoff;
         ] );
     ]

@@ -202,6 +202,211 @@ let test_walker_unmapped () =
   check Alcotest.bool "no mapping" true (r.Walker.mapping = None);
   check Alcotest.bool "fault walk still costs" true (r.Walker.memory_accesses >= 1)
 
+(* --- Walker: INVLPG-style per-page invalidation ----------------------- *)
+
+(* Pages 0 and (1 lsl 27) share no interior prefix at any level, so
+   invalidating one must leave the other's whole walk-cache path
+   intact — the regression the full-flush bug destroyed. *)
+let test_walker_invalidate_page_precision () =
+  let pt = Page_table.create () in
+  let far = 1 lsl 27 in
+  Page_table.map pt ~vpage:0 ~frame:0 ();
+  Page_table.map pt ~vpage:far ~frame:1 ();
+  let w = Walker.create pt in
+  ignore (Walker.translate w 0);
+  ignore (Walker.translate w far);
+  Walker.invalidate_page w 0;
+  let r_far = Walker.translate w far in
+  check Alcotest.int "unrelated page stays warm" 1
+    r_far.Walker.memory_accesses;
+  let r0 = Walker.translate w 0 in
+  check Alcotest.int "invalidated page is cold" 4 r0.Walker.memory_accesses
+
+let test_walker_invalidate_page_shared_prefix () =
+  let pt = Page_table.create () in
+  Page_table.map pt ~vpage:0 ~frame:0 ();
+  Page_table.map pt ~vpage:512 ~frame:1 ();
+  let w = Walker.create pt in
+  ignore (Walker.translate w 0);
+  ignore (Walker.translate w 512);
+  (* Pages 0 and 512 share levels 1-2 but split at the last interior
+     level; invalidating page 0 takes the shared prefixes with it
+     (INVLPG semantics are conservative) but page 512 keeps its own
+     deepest entry, so it still walks with one access. *)
+  Walker.invalidate_page w 0;
+  let r = Walker.translate w 512 in
+  check Alcotest.int "sibling keeps its deepest prefix" 1
+    r.Walker.memory_accesses
+
+(* Per-entry invalidation against a flush-and-rebuild reference: a
+   model PWC as a set of (skip, prefix) keys, with capacity high
+   enough that the real PWC never evicts, must predict every walk's
+   memory-access count across random walk/invalidate/flush sequences. *)
+let prop_walker_invalidate_matches_model =
+  QCheck.Test.make ~count:80
+    ~name:"Walker.invalidate_page matches flush-and-rebuild model"
+    QCheck.(list (pair (int_bound 9) (int_bound 4095)))
+    (fun ops ->
+      let pt = Page_table.create () in
+      for v = 0 to 4095 do
+        Page_table.map pt ~vpage:v ~frame:v ()
+      done;
+      let w =
+        Walker.create
+          ~config:{ Walker.default_config with pwc_entries = 65536 }
+          pt
+      in
+      let model = Hashtbl.create 256 in
+      let key ~skip v = (skip, v lsr ((Page_table.levels - skip) * 9)) in
+      List.iter
+        (fun (op, v) ->
+          match op with
+          | 0 | 1 | 2 | 3 | 4 | 5 ->
+            (* Walk: the model predicts accesses from its deepest
+               matching prefix, then learns the path. *)
+            let _, visits = Page_table.walk pt v in
+            let max_skip = min (Page_table.levels - 1) (visits - 1) in
+            let skip = ref 0 in
+            for g = max_skip downto 1 do
+              if !skip = 0 && Hashtbl.mem model (key ~skip:g v) then skip := g
+            done;
+            let predicted = max 1 (visits - !skip) in
+            let r = Walker.translate w v in
+            if r.Walker.memory_accesses <> predicted then
+              QCheck.Test.fail_reportf
+                "walk %d: predicted %d accesses, walker did %d" v predicted
+                r.Walker.memory_accesses;
+            for g = 1 to max_skip do
+              Hashtbl.replace model (key ~skip:g v) ()
+            done
+          | 6 | 7 | 8 ->
+            Walker.invalidate_page w v;
+            for g = 1 to Page_table.levels - 1 do
+              Hashtbl.remove model (key ~skip:g v)
+            done
+          | _ ->
+            Walker.invalidate w;
+            Hashtbl.reset model)
+        ops;
+      true)
+
+(* --- Walker: cache-resident translation tier -------------------------- *)
+
+let tiered_config ?(mode = Walker.Inclusive) ?(entries = 16) () =
+  { Walker.default_config with
+    tcache_entries = entries;
+    tcache_latency = 30;
+    tcache_mode = mode }
+
+let test_walker_tcache_inclusive_hit () =
+  let pt = Page_table.create () in
+  Page_table.map pt ~vpage:0 ~frame:0 ();
+  let w = Walker.create ~config:(tiered_config ()) pt in
+  let cold = Walker.translate w 0 in
+  (* The probe is charged even on the cold miss. *)
+  check Alcotest.int "cold walk still 4 accesses" 4 cold.Walker.memory_accesses;
+  check Alcotest.bool "miss pays the probe" true
+    (cold.Walker.cycles > 4 * 100);
+  let hit = Walker.translate w 0 in
+  check Alcotest.int "tier hit: no page-table access" 0
+    hit.Walker.memory_accesses;
+  check Alcotest.int "tier hit costs its latency" 30 hit.Walker.cycles;
+  let s = Walker.stats w in
+  check Alcotest.int "one tcache hit" 1 s.Walker.tcache_hits;
+  check Alcotest.bool "hit strictly cheaper than any walk" true
+    (hit.Walker.cycles < 100)
+
+let test_walker_tcache_exclusive_deposit () =
+  let pt = Page_table.create () in
+  Page_table.map pt ~vpage:0 ~frame:0 ();
+  let w = Walker.create ~config:(tiered_config ~mode:Walker.Exclusive ()) pt in
+  ignore (Walker.translate w 0);
+  (* Exclusive: walks do not fill the tier. *)
+  let again = Walker.translate w 0 in
+  check Alcotest.bool "no hit before deposit" true
+    (again.Walker.memory_accesses > 0);
+  Walker.deposit w 0;
+  let hit = Walker.translate w 0 in
+  check Alcotest.int "deposited entry hits" 0 hit.Walker.memory_accesses;
+  (* A victim store surrenders the entry on hit. *)
+  let after = Walker.translate w 0 in
+  check Alcotest.bool "entry migrated out" true
+    (after.Walker.memory_accesses > 0);
+  check Alcotest.int "exactly one tier hit" 1 (Walker.stats w).Walker.tcache_hits
+
+let test_walker_tcache_never_serves_unmapped () =
+  let pt = Page_table.create () in
+  Page_table.map pt ~vpage:7 ~frame:3 ();
+  let w = Walker.create ~config:(tiered_config ()) pt in
+  ignore (Walker.translate w 7);
+  ignore (Page_table.unmap pt ~vpage:7);
+  (* The stale tier entry must not shortcut the fault. *)
+  let r = Walker.translate w 7 in
+  check Alcotest.bool "fault reported" true (r.Walker.mapping = None);
+  check Alcotest.int "no phantom tcache hit" 0
+    (Walker.stats w).Walker.tcache_hits
+
+let test_walker_tcache_invalidate_page () =
+  let pt = Page_table.create () in
+  Page_table.map pt ~vpage:0 ~frame:0 ();
+  let w = Walker.create ~config:(tiered_config ()) pt in
+  ignore (Walker.translate w 0);
+  Walker.invalidate_page w 0;
+  let r = Walker.translate w 0 in
+  check Alcotest.int "tier entry dropped with the page" 4
+    r.Walker.memory_accesses
+
+(* Tier disabled = the pre-tier walker, byte for byte: same per-walk
+   results and an obs snapshot with no tcache names in it. *)
+let test_walker_tcache_disabled_identical () =
+  let mk config =
+    let reg = Atp_obs.Registry.create () in
+    let pt = Page_table.create () in
+    for v = 0 to 255 do
+      Page_table.map pt ~vpage:v ~frame:v ()
+    done;
+    let w = Walker.create ~config ~obs:(Atp_obs.Scope.v reg) pt in
+    let results = ref [] in
+    for i = 0 to 999 do
+      let v = i * 37 mod 256 in
+      let r = Walker.translate w v in
+      results := (r.Walker.memory_accesses, r.Walker.cycles) :: !results;
+      if i mod 97 = 0 then Walker.invalidate_page w v
+    done;
+    (!results, Walker.stats w, Atp_obs.Registry.snapshot reg)
+  in
+  let r_disabled, s_disabled, snap_disabled =
+    mk { Walker.default_config with tcache_entries = 0 }
+  in
+  let r_default, s_default, snap_default = mk Walker.default_config in
+  check Alcotest.bool "per-walk results identical" true
+    (r_disabled = r_default);
+  check Alcotest.bool "stats identical" true (s_disabled = s_default);
+  check Alcotest.bool "obs snapshots identical" true
+    (snap_disabled = snap_default)
+
+let test_walker_tcache_obs_names () =
+  let snapshot config =
+    let reg = Atp_obs.Registry.create () in
+    let pt = Page_table.create () in
+    Page_table.map pt ~vpage:0 ~frame:0 ();
+    let w = Walker.create ~config ~obs:(Atp_obs.Scope.v reg) pt in
+    ignore (Walker.translate w 0);
+    Atp_obs.Json.to_string (Atp_obs.Registry.snapshot reg)
+  in
+  let contains s sub =
+    let n = String.length sub in
+    let rec go i =
+      i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+    in
+    go 0
+  in
+  let off = snapshot { Walker.default_config with tcache_entries = 0 } in
+  let on = snapshot (tiered_config ()) in
+  check Alcotest.bool "disabled tier registers nothing" false
+    (contains off "tcache");
+  check Alcotest.bool "enabled tier is observable" true (contains on "tcache")
+
 (* --- Nested ------------------------------------------------------------ *)
 
 let test_nested_translates () =
@@ -286,7 +491,24 @@ let () =
           Alcotest.test_case "invalidate" `Quick test_walker_invalidate;
           Alcotest.test_case "epsilon" `Quick test_walker_epsilon;
           Alcotest.test_case "unmapped" `Quick test_walker_unmapped;
-        ] );
+          Alcotest.test_case "invlpg precision" `Quick
+            test_walker_invalidate_page_precision;
+          Alcotest.test_case "invlpg shared prefix" `Quick
+            test_walker_invalidate_page_shared_prefix;
+          Alcotest.test_case "tcache inclusive hit" `Quick
+            test_walker_tcache_inclusive_hit;
+          Alcotest.test_case "tcache exclusive deposit" `Quick
+            test_walker_tcache_exclusive_deposit;
+          Alcotest.test_case "tcache never serves unmapped" `Quick
+            test_walker_tcache_never_serves_unmapped;
+          Alcotest.test_case "tcache invalidate page" `Quick
+            test_walker_tcache_invalidate_page;
+          Alcotest.test_case "tier disabled = pre-tier walker" `Quick
+            test_walker_tcache_disabled_identical;
+          Alcotest.test_case "tcache obs naming" `Quick
+            test_walker_tcache_obs_names;
+        ]
+        @ qsuite [ prop_walker_invalidate_matches_model ] );
       ( "nested",
         [
           Alcotest.test_case "translates" `Quick test_nested_translates;

@@ -127,6 +127,102 @@ let test_hierarchy_average_latency () =
   (* 1 cycle + 8 cycles over two lookups. *)
   check (Alcotest.float 1e-9) "average" 4.5 (Hierarchy.average_latency t)
 
+(* --- Hierarchy: cache-resident victim store ------------------------------- *)
+
+let tiered_hierarchy ?(l1 = 2) ?(l2 = 4) ?(tc = 8) () =
+  Hierarchy.create
+    ~config:
+      { Hierarchy.default_config with
+        l1_entries = l1; l2_entries = l2; tcache_entries = tc }
+    ()
+
+let test_hierarchy_tcache_recovers_l2_victims () =
+  let t = tiered_hierarchy () in
+  (* Overflow both TLB levels: entries evicted from L2 must land in
+     the victim store instead of vanishing. *)
+  for v = 0 to 9 do Hierarchy.insert t v (v * 10) done;
+  (match Hierarchy.lookup t 0 with
+   | Some 0, Hierarchy.Tcache_hit cycles ->
+     (* l1 + l2 + tcache latencies: 1 + 7 + 30. *)
+     check Alcotest.int "victim-store latency" 38 cycles
+   | _, _ -> Alcotest.fail "expected a victim-store recovery");
+  (* The recovered entry migrated back into the TLB levels. *)
+  match Hierarchy.lookup t 0 with
+  | Some 0, Hierarchy.L1_hit _ -> ()
+  | _ -> Alcotest.fail "expected an L1 refill after recovery"
+
+let test_hierarchy_tcache_miss_pays_probe () =
+  let t = tiered_hierarchy () in
+  (match Hierarchy.lookup t 42 with
+   | None, Hierarchy.Miss cycles ->
+     check Alcotest.int "miss probes all three" 38 cycles
+   | _ -> Alcotest.fail "expected a miss");
+  (* With the tier off, the same miss costs only the two TLB levels. *)
+  let t0 = Hierarchy.create () in
+  match Hierarchy.lookup t0 42 with
+  | None, Hierarchy.Miss cycles -> check Alcotest.int "two-level miss" 8 cycles
+  | _ -> Alcotest.fail "expected a miss"
+
+let test_hierarchy_tcache_invalidate () =
+  let t = tiered_hierarchy () in
+  for v = 0 to 9 do Hierarchy.insert t v v done;
+  (* Page 0 now lives only in the victim store; a shootdown must reach
+     it there. *)
+  check Alcotest.bool "shot down in the tier" true (Hierarchy.invalidate t 0);
+  match Hierarchy.lookup t 0 with
+  | None, _ -> ()
+  | Some _, _ -> Alcotest.fail "survived shootdown in the victim store"
+
+(* Cycle conservation across configurations and workload shapes: the
+   hierarchy's total is exactly the per-outcome cycle sum, and every
+   outcome's cycle count decomposes into the configured latencies. *)
+let prop_hierarchy_cycle_conservation =
+  QCheck.Test.make ~count:60 ~name:"Hierarchy cycles decompose by outcome"
+    QCheck.(
+      triple
+        (oneofl [ 0; 4; 16 ])
+        (list_of_size Gen.(int_range 1 300) (int_bound 60))
+        (oneofl [ (2, 4); (4, 16); (64, 1536) ]))
+    (fun (tc, keys, (l1, l2)) ->
+      let cfg =
+        { Hierarchy.default_config with
+          l1_entries = l1; l2_entries = l2; tcache_entries = tc }
+      in
+      let t = Hierarchy.create ~config:cfg () in
+      let l1h = ref 0 and l2h = ref 0 and tch = ref 0 and mis = ref 0 in
+      let billed = ref 0 in
+      List.iter
+        (fun k ->
+          let _, outcome = Hierarchy.lookup t k in
+          (match outcome with
+           | Hierarchy.L1_hit c -> incr l1h; billed := !billed + c
+           | Hierarchy.L2_hit c -> incr l2h; billed := !billed + c
+           | Hierarchy.Tcache_hit c -> incr tch; billed := !billed + c
+           | Hierarchy.Miss c ->
+             incr mis;
+             billed := !billed + c;
+             Hierarchy.insert t k (k * 3)))
+        keys;
+      let miss_lat =
+        cfg.Hierarchy.l1_latency + cfg.Hierarchy.l2_latency
+        + if tc > 0 then cfg.Hierarchy.tcache_latency else 0
+      in
+      let decomposed =
+        (!l1h * cfg.Hierarchy.l1_latency)
+        + (!l2h * (cfg.Hierarchy.l1_latency + cfg.Hierarchy.l2_latency))
+        + (!tch * miss_lat)
+        + (!mis * miss_lat)
+      in
+      if tc = 0 && !tch > 0 then
+        QCheck.Test.fail_reportf "tier disabled but %d tcache hits" !tch;
+      if Hierarchy.total_cycles t <> !billed then
+        QCheck.Test.fail_reportf "total %d <> billed %d"
+          (Hierarchy.total_cycles t) !billed;
+      if Hierarchy.total_cycles t <> decomposed then
+        QCheck.Test.fail_reportf "total %d <> decomposition %d"
+          (Hierarchy.total_cycles t) decomposed;
+      true)
+
 (* --- HPC workloads --------------------------------------------------------- *)
 
 let test_gups_uniformish () =
@@ -213,7 +309,15 @@ let () =
           Alcotest.test_case "l2 backstop" `Quick test_hierarchy_l2_backstop;
           Alcotest.test_case "invalidate both" `Quick test_hierarchy_invalidate_both;
           Alcotest.test_case "average latency" `Quick test_hierarchy_average_latency;
-        ] );
+          Alcotest.test_case "tcache recovers l2 victims" `Quick
+            test_hierarchy_tcache_recovers_l2_victims;
+          Alcotest.test_case "tcache miss pays probe" `Quick
+            test_hierarchy_tcache_miss_pays_probe;
+          Alcotest.test_case "tcache invalidate" `Quick
+            test_hierarchy_tcache_invalidate;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest
+            [ prop_hierarchy_cycle_conservation ] );
       ( "hpc",
         [
           Alcotest.test_case "gups uniform" `Quick test_gups_uniformish;

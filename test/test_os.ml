@@ -166,11 +166,70 @@ let test_smp_partitioned_less_shootdown () =
 let test_smp_cost_model () =
   let cfg = smp_config ~cores:2 ~ram:16 ~tlb:4 in
   let c =
-    { Smp.accesses = 10; tlb_misses = 4; ios = 2; shootdown_events = 1; ipis = 3 }
+    { Smp.accesses = 10; tlb_misses = 4; tcache_hits = 0; ios = 2;
+      shootdown_events = 1; ipis = 3 }
   in
   check (Alcotest.float 1e-9) "cost formula"
     (2.0 +. (0.01 *. 4.0) +. (0.01 *. 3.0))
+    (Smp.cost cfg c);
+  (* Reach-extended: recovered misses are re-billed at tcache_ε. *)
+  let c = { c with tcache_hits = 3 } in
+  check (Alcotest.float 1e-9) "reach cost formula"
+    (2.0 +. (0.01 *. 1.0) +. (0.003 *. 3.0) +. (0.01 *. 3.0))
     (Smp.cost cfg c)
+
+let test_smp_tcache_recovers_cross_core () =
+  (* Core 0's TLB eviction deposits the translation into the shared
+     store; core 1 (which never saw the page) recovers it cheaply. *)
+  let cfg =
+    { (smp_config ~cores:2 ~ram:64 ~tlb:2) with Smp.tcache_entries = 16 }
+  in
+  let t = Smp.create cfg in
+  Smp.access t ~core:0 7;
+  (* Overflow core 0's 2-entry TLB so page 7 falls into the store. *)
+  Smp.access t ~core:0 8;
+  Smp.access t ~core:0 9;
+  Smp.reset_counters t;
+  Smp.access t ~core:1 7;
+  let c = Smp.counters t in
+  check Alcotest.int "miss counted" 1 c.Smp.tlb_misses;
+  check Alcotest.int "recovered from the shared store" 1 c.Smp.tcache_hits;
+  check Alcotest.int "no IO needed" 0 c.Smp.ios
+
+let test_smp_shootdown_invalidates_tcache () =
+  (* The regression this tier must not reintroduce: a translation that
+     only lives in the shared cache-resident store must still die on
+     unmap, or a later access would be served a dead mapping. *)
+  let cfg =
+    { (smp_config ~cores:2 ~ram:2 ~tlb:2) with Smp.tcache_entries = 16 }
+  in
+  let t = Smp.create cfg in
+  Smp.access t ~core:0 0;
+  (* Push page 0 out of core 0's TLB into the shared store... *)
+  Smp.access t ~core:0 1;
+  Smp.access t ~core:0 2 (* evicts page 0 from RAM: shootdown *);
+  let c = Smp.counters t in
+  check Alcotest.bool "unmap of a store-only translation still counts"
+    true (c.Smp.shootdown_events >= 1);
+  Smp.reset_counters t;
+  (* Page 0 was unmapped; recovering it from the store now would be a
+     use-after-unmap.  It must take the full path (IO) again. *)
+  Smp.access t ~core:1 0;
+  let c = Smp.counters t in
+  check Alcotest.int "no stale recovery" 0 c.Smp.tcache_hits;
+  check Alcotest.bool "page is re-fetched" true (c.Smp.ios >= 1)
+
+let test_smp_tcache_disabled_identical () =
+  (* tcache_entries = 0 must leave every counter exactly as before. *)
+  let trace = Array.init 4000 (fun i -> (i * 769) land 1023) in
+  let base = Smp.create (smp_config ~cores:4 ~ram:128 ~tlb:8) in
+  let tiered0 =
+    Smp.create
+      { (smp_config ~cores:4 ~ram:128 ~tlb:8) with Smp.tcache_entries = 0 }
+  in
+  let a = Smp.run_shared base trace in
+  let b = Smp.run_shared tiered0 trace in
+  check Alcotest.bool "counters identical with the tier disabled" true (a = b)
 
 let () =
   Alcotest.run "atp.os"
@@ -193,5 +252,11 @@ let () =
           Alcotest.test_case "partitioned fewer IPIs" `Quick
             test_smp_partitioned_less_shootdown;
           Alcotest.test_case "cost model" `Quick test_smp_cost_model;
+          Alcotest.test_case "tcache cross-core recovery" `Quick
+            test_smp_tcache_recovers_cross_core;
+          Alcotest.test_case "shootdown invalidates tcache" `Quick
+            test_smp_shootdown_invalidates_tcache;
+          Alcotest.test_case "tcache disabled identical" `Quick
+            test_smp_tcache_disabled_identical;
         ] );
     ]

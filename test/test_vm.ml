@@ -110,6 +110,84 @@ let test_vmm_munmap () =
   check Alcotest.int "fresh page, no swap-in" 0 c.Vmm.major_faults;
   check Alcotest.int "minor fault" 1 c.Vmm.minor_faults
 
+(* Regression for the full-flush bug: one single-page munmap used to
+   flush the whole PWC, making every later walk cold.  With per-entry
+   (INVLPG-style) invalidation, a working set in an unrelated part of
+   the address space keeps its walk-cache hit rate. *)
+let test_vmm_munmap_keeps_unrelated_pwc () =
+  let vm = Vmm.create (vmm_config ~ram:256 ~tlb:2) in
+  (* Working set: pages 0..63, far from the victim region (no shared
+     interior prefix at any level).  The tiny TLB forces every access
+     through the walker. *)
+  Vmm.mmap vm ~start:0 ~pages:64;
+  let far = 1 lsl 27 in
+  Vmm.mmap vm ~start:far ~pages:1;
+  for v = 0 to 63 do Vmm.read vm v done;
+  Vmm.read vm far;
+  (* Warm pass to establish the steady-state walk cost. *)
+  let warm_accesses before after =
+    after.Walker.total_memory_accesses - before.Walker.total_memory_accesses
+  in
+  let s0 = Vmm.walker_stats vm in
+  for v = 0 to 63 do Vmm.read vm v done;
+  let s1 = Vmm.walker_stats vm in
+  let warm = warm_accesses s0 s1 in
+  Vmm.munmap vm ~start:far ~pages:1;
+  let s2 = Vmm.walker_stats vm in
+  for v = 0 to 63 do Vmm.read vm v done;
+  let s3 = Vmm.walker_stats vm in
+  let after_unmap = warm_accesses s2 s3 in
+  check Alcotest.int "unmap of an unrelated page costs no warmth" warm
+    after_unmap
+
+let test_vmm_bulk_munmap_still_flushes () =
+  (* A bulk unmap (> 32 pages) takes the one full flush: the next walk
+     anywhere is cold. *)
+  let vm = Vmm.create (vmm_config ~ram:512 ~tlb:2) in
+  Vmm.mmap vm ~start:0 ~pages:8;
+  Vmm.mmap vm ~start:4096 ~pages:64;
+  for v = 0 to 7 do Vmm.read vm v done;
+  for v = 4096 to 4159 do Vmm.read vm v done;
+  Vmm.munmap vm ~start:4096 ~pages:64;
+  let s0 = Vmm.walker_stats vm in
+  Vmm.read vm 0;
+  let s1 = Vmm.walker_stats vm in
+  check Alcotest.int "cold walk after bulk flush" Page_table.levels
+    (s1.Walker.total_memory_accesses - s0.Walker.total_memory_accesses)
+
+(* Cycle conservation: every cycle the Vmm bills is attributable to
+   exactly one of TLB hits, page walks, or IO — across paging
+   pressure, writebacks, and the walker tier on or off. *)
+let prop_vmm_cycle_conservation =
+  QCheck.Test.make ~count:40 ~name:"Vmm cycles = tlb + walk + io"
+    QCheck.(
+      triple (int_range 16 128)
+        (list_of_size Gen.(int_range 1 400) (pair (int_bound 255) bool))
+        (oneofl [ 0; 8 ]))
+    (fun (ram, ops, tcache_entries) ->
+      let cfg =
+        { Vmm.default_config with
+          ram_pages = ram;
+          tlb_entries = 8;
+          walker = { Walker.default_config with tcache_entries };
+        }
+      in
+      let vm = Vmm.create cfg in
+      Vmm.mmap vm ~start:0 ~pages:256;
+      List.iter
+        (fun (v, w) -> if w then Vmm.write vm v else Vmm.read vm v)
+        ops;
+      let c = Vmm.counters vm in
+      let expected =
+        (c.Vmm.tlb_hits * cfg.Vmm.tlb_hit_cycles)
+        + c.Vmm.walk_cycles
+        + (cfg.Vmm.io_cycles * (c.Vmm.major_faults + c.Vmm.writebacks))
+      in
+      if expected <> c.Vmm.total_cycles then
+        QCheck.Test.fail_reportf "expected %d cycles, billed %d" expected
+          c.Vmm.total_cycles;
+      true)
+
 let test_vmm_translation_fraction () =
   (* Under swap pressure, IO cycles share the bill with translation. *)
   let vm = Vmm.create (vmm_config ~ram:256 ~tlb:8) in
@@ -250,8 +328,14 @@ let () =
           Alcotest.test_case "dirty writeback" `Quick test_vmm_dirty_writeback;
           Alcotest.test_case "clock keeps hot pages" `Quick test_vmm_clock_prefers_cold_pages;
           Alcotest.test_case "munmap" `Quick test_vmm_munmap;
+          Alcotest.test_case "munmap keeps unrelated PWC" `Quick
+            test_vmm_munmap_keeps_unrelated_pwc;
+          Alcotest.test_case "bulk munmap flushes" `Quick
+            test_vmm_bulk_munmap_still_flushes;
           Alcotest.test_case "translation fraction" `Quick test_vmm_translation_fraction;
-        ] );
+        ]
+        @ List.map QCheck_alcotest.to_alcotest [ prop_vmm_cycle_conservation ]
+      );
       ( "superpage",
         [
           Alcotest.test_case "reserve + promote" `Quick
