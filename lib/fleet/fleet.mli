@@ -1,0 +1,47 @@
+(** Per-tenant fairness reporting ([atp.fleet]).
+
+    A consolidation experiment ends with one translation-cost figure
+    {e per tenant}; this module condenses them into the fleet-level
+    summary the QoS comparison reads: per-access cost percentiles
+    (p50/p99 — the tail is where noisy neighbors show), the mean and
+    max, and Jain's fairness index
+    [(Σx)² / (n·Σx²)] — 1 when every tenant pays the same, → 1/n when
+    one tenant pays everything.
+
+    Per-tenant per-access cost is [cost / accesses] with the paper's
+    accounting (ε-weighted fills plus I/Os); tenants with zero
+    measured accesses are excluded.  All statistics are exact
+    (computed on the sorted cost array, nearest-rank percentiles), so
+    reports are byte-stable and golden-testable. *)
+
+type fairness = {
+  tenants : int;  (** tenants with at least one access *)
+  mean : float;
+  p50 : float;
+  p99 : float;
+  max_cost : float;
+  jain : float;
+}
+
+val of_costs : float list -> fairness
+(** Summarize raw per-tenant costs (any non-negative metric). *)
+
+val of_stats : epsilon:float -> Contended.tenant_stats list -> fairness
+(** From a contended replay ({!Contended.run}). *)
+
+val of_reports :
+  epsilon:float -> Atp_engine.Engine.tenant_report list -> fairness
+(** From a tenant-partitioned engine replay
+    ({!Atp_engine.Engine.replay_tenants}), using
+    {!Atp_core.Simulation.cost}. *)
+
+val observe : Atp_obs.Scope.t -> fairness -> unit
+(** Publish as gauges under the scope: [tenants_reported],
+    [cost_mean], [cost_p50], [cost_p99], [cost_max], [jain]. *)
+
+val to_json : fairness -> Atp_obs.Json.t
+(** [{"tenants":…,"mean":…,"p50":…,"p99":…,"max":…,"jain":…}] with
+    the registry serializer's deterministic float formatting. *)
+
+val pp : Format.formatter -> fairness -> unit
+(** Fixed-precision one-liner, safe to golden-test. *)

@@ -1,0 +1,38 @@
+(** Per-tenant simulator state, keyed by tenant id.
+
+    A thin layer over {!Atp_util.Int_table.Poly} that additionally
+    tracks {e peak} occupancy: the fleet's memory guarantee is
+    O(active tenants) — not O(tenants ever seen) — and the churn tests
+    assert it by comparing [peak] against the configured active-tenant
+    cap, far below the total tenant count. *)
+
+type 'a t
+
+val create : ?initial_capacity:int -> unit -> 'a t
+
+val length : 'a t -> int
+(** Currently active tenants. *)
+
+val peak : 'a t -> int
+(** Largest [length] ever observed. *)
+
+val mem : 'a t -> int -> bool
+
+val find : 'a t -> int -> 'a option
+
+val find_exn : 'a t -> int -> 'a
+(** @raise Not_found when the tenant is absent. *)
+
+val set : 'a t -> int -> 'a -> unit
+(** Insert or overwrite. *)
+
+val remove : 'a t -> int -> bool
+(** Returns whether the tenant was present. *)
+
+val iter : (int -> 'a -> unit) -> 'a t -> unit
+
+val fold : (int -> 'a -> 'b -> 'b) -> 'a t -> 'b -> 'b
+
+val to_sorted_list : 'a t -> (int * 'a) list
+(** Snapshot sorted by tenant id — deterministic regardless of hash
+    order. *)

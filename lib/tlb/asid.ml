@@ -48,6 +48,70 @@ let stats t = Tlb.stats t.tlb
 
 let reset_stats t = Tlb.reset_stats t.tlb
 
+module Allocator = struct
+  (* Linux-style lazy ASID recycling: a freed id is handed out again
+     only after a whole-TLB flush has run since it was freed, so reuse
+     never needs a per-id flush on the allocation path.  Ids freed
+     since the last flush sit in [dirty]; a generation rollover flushes
+     everything and promotes them to [clean] in one step. *)
+  type 'a alloc = {
+    tlb : 'a t;
+    mutable fresh : int;  (* never allocated this generation *)
+    mutable clean : int list;  (* freed, then covered by a flush *)
+    mutable dirty : int list;  (* freed since the last flush *)
+    mutable live : int;
+    mutable generation : int;
+  }
+
+  let create tlb =
+    { tlb; fresh = 0; clean = []; dirty = []; live = 0; generation = 0 }
+
+  let capacity a = max_asid a.tlb + 1
+
+  let live a = a.live
+
+  let generation a = a.generation
+
+  let allocate a =
+    let asid =
+      if a.fresh <= max_asid a.tlb then begin
+        let id = a.fresh in
+        a.fresh <- id + 1;
+        id
+      end
+      else
+        match a.clean with
+        | id :: rest ->
+          a.clean <- rest;
+          id
+        | [] -> (
+          match a.dirty with
+          | [] -> invalid_arg "Asid.Allocator.allocate: address-space ids exhausted"
+          | _ :: _ ->
+            (* Generation rollover: one flush launders every freed id
+               at once.  Dirty ids were freed in LIFO order; sort so
+               the hand-out order is a function of the set, not of the
+               free order, keeping sharded replays deterministic. *)
+            flush_all a.tlb;
+            a.generation <- a.generation + 1;
+            a.clean <- List.sort Int.compare a.dirty;
+            a.dirty <- [];
+            (match a.clean with
+            | id :: rest ->
+              a.clean <- rest;
+              id
+            | [] -> assert false))
+    in
+    a.live <- a.live + 1;
+    asid
+
+  let free a asid =
+    if asid < 0 || asid > max_asid a.tlb then
+      invalid_arg "Asid.Allocator.free: bad asid";
+    a.live <- a.live - 1;
+    a.dirty <- asid :: a.dirty
+end
+
 let per_asid_share t =
   let counts = Atp_util.Int_table.create ~initial_capacity:16 () in
   Tlb.iter

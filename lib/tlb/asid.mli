@@ -46,3 +46,42 @@ val reset_stats : 'a t -> unit
 val per_asid_share : 'a t -> (int * int) list
 (** Current entry count per address space: the effective-TLB-share
     measurement, sorted by asid. *)
+
+(** Lazy ASID recycling for fleets of short-lived address spaces.
+
+    Millions of tenants churn through a few thousand hardware ids, so
+    ids must be recycled — and a recycled id must never surface a dead
+    tenant's translations.  Flushing per free is O(TLB) on every exit;
+    instead (as in Linux's ASID allocator) a freed id becomes
+    allocatable only after a {e generation rollover}: when no fresh or
+    laundered id remains, one {!flush_all} clears the TLB and makes
+    every freed id clean at once.  The qcheck suite proves the no-leak
+    guarantee differentially against a flush-everything reference. *)
+module Allocator : sig
+  type 'a alloc
+
+  val create : 'a t -> 'a alloc
+  (** Allocates out of (and flushes, on rollover) the given tagged
+      TLB.  The caller must route every insert/lookup through asids
+      handed out here. *)
+
+  val allocate : 'a alloc -> int
+  (** A fresh or safely recycled asid.  May trigger a generation
+      rollover, which flushes the underlying TLB.
+
+      @raise Invalid_argument when every asid is live. *)
+
+  val free : 'a alloc -> int -> unit
+  (** Return an asid (e.g. on tenant exit).  No flush happens now; the
+      id is quarantined until the next rollover.
+
+      @raise Invalid_argument on an out-of-range asid. *)
+
+  val capacity : 'a alloc -> int
+  (** [max_asid + 1] of the underlying TLB. *)
+
+  val live : 'a alloc -> int
+
+  val generation : 'a alloc -> int
+  (** Rollovers so far. *)
+end

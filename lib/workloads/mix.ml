@@ -60,6 +60,37 @@ let round_robin ~quantum workloads =
         workloads.(!current).Workload.next ());
   }
 
+(* --- splittable mix specs ----------------------------------------- *)
+
+type spec = {
+  spec_name : string;
+  spec_weights : float array option;
+  spec_components : (Prng.t -> Workload.t) array;
+}
+
+let spec ?weights ?(name = "mix") components =
+  if Array.length components = 0 then invalid_arg "Mix.spec: no components";
+  (match weights with
+  | Some w when Array.length w <> Array.length components ->
+    invalid_arg "Mix.spec: weight mismatch"
+  | Some _ | None -> ());
+  { spec_name = name; spec_weights = weights; spec_components = components }
+
+let spec_name s = s.spec_name
+
+let instantiate s rng =
+  (* The picker and every component each own a generator split off
+     [rng]: drawing from one component never advances a sibling's
+     stream, and two instantiations from independently seeded
+     generators are fully independent.  (Building the components
+     directly on a shared [rng] — the only option before specs —
+     seed-coupled them: each sample from one shifted all the
+     others.) *)
+  let picker = Prng.split rng in
+  let built = Array.map (fun c -> c (Prng.split rng)) s.spec_components in
+  let w = interleave ?weights:s.spec_weights built picker in
+  { w with Workload.name = s.spec_name }
+
 let phases spec =
   (match spec with [] -> invalid_arg "Mix.phases: no phases" | _ :: _ -> ());
   List.iter

@@ -21,6 +21,40 @@ val interleave :
     @raise Invalid_argument if there are no workloads or the weight
     array length does not match. *)
 
+(** {2 Splittable mix specs}
+
+    A {!spec} is an uninstantiated mix: component {e constructors}
+    rather than built workloads.  {!instantiate} builds each component
+    on its own generator split off the tenant's, so a fleet can stamp
+    out thousands of tenants from one spec with fully independent
+    streams.  Passing one shared generator to every component
+    constructor — the only option before specs — seed-couples them:
+    each sample drawn for one component advances all the others. *)
+
+type spec
+
+val spec :
+  ?weights:float array ->
+  ?name:string ->
+  (Atp_util.Prng.t -> Workload.t) array ->
+  spec
+(** Component constructors with optional mixing [weights] (uniform by
+    default); [name] (default ["mix"]) becomes the instantiated
+    workload's name.
+
+    @raise Invalid_argument if there are no components or the weight
+    array length does not match. *)
+
+val spec_name : spec -> string
+
+val instantiate : spec -> Atp_util.Prng.t -> Workload.t
+(** Build the mix: the picker and each component get independent
+    generators split off [rng], so two tenants with the same spec but
+    different seeds produce independent streams, and a component's
+    stream does not shift when a sibling component changes.
+
+    @raise Invalid_argument via {!interleave} on a malformed spec. *)
+
 val round_robin : quantum:int -> Workload.t array -> Workload.t
 (** Deterministic scheduling: [quantum] accesses from each workload in
     turn — a time-sliced CPU.

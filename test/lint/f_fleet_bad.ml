@@ -1,0 +1,32 @@
+(* Violates domain-safety, fleet-style: tenant-sharded replay ships
+   per-shard closures across domains, but every shard funnels its
+   per-tenant bookkeeping through one shared mutable tenant table — a
+   locally-bound Int_table.Poly captured by the closure, and a named
+   recorder that writes a module-level table. *)
+
+let replay_shared_table shards =
+  let tenant_accesses : int Atp_util.Int_table.Poly.t =
+    Atp_util.Int_table.Poly.create ()
+  in
+  let counts =
+    Atp_util.Parallel.map
+      (fun shard ->
+        let tenant = shard land 7 in
+        let seen =
+          Atp_util.Int_table.Poly.find_or tenant_accesses tenant 0
+        in
+        Atp_util.Int_table.Poly.set tenant_accesses tenant (seen + 1);
+        seen + 1)
+      shards
+  in
+  List.fold_left ( + ) 0 counts
+
+let fleet_table : int Atp_util.Int_table.Poly.t =
+  Atp_util.Int_table.Poly.create ()
+
+let record_departure tenant =
+  let n = Atp_util.Int_table.Poly.find_or fleet_table tenant 0 in
+  Atp_util.Int_table.Poly.set fleet_table tenant (n + 1);
+  n + 1
+
+let departures tenants = Atp_util.Parallel.map record_departure tenants

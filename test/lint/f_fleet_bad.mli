@@ -1,0 +1,5 @@
+val replay_shared_table : int list -> int
+
+val record_departure : int -> int
+
+val departures : int list -> int list

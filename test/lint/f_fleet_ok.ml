@@ -1,0 +1,35 @@
+(* Clean under domain-safety, fleet-style: each shard builds its own
+   tenant table inside the shipped closure and returns immutable
+   per-shard results; the caller merges them and updates any shared
+   counters only after Atp_util.Parallel.map has joined. *)
+
+let replay_owned_tables shard_chunks =
+  let per_shard =
+    Atp_util.Parallel.map
+      (fun chunk ->
+        let tenant_accesses : int Atp_util.Int_table.Poly.t =
+          Atp_util.Int_table.Poly.create ()
+        in
+        List.iter
+          (fun tenant ->
+            let seen =
+              Atp_util.Int_table.Poly.find_or tenant_accesses tenant 0
+            in
+            Atp_util.Int_table.Poly.set tenant_accesses tenant (seen + 1))
+          chunk;
+        Atp_util.Int_table.Poly.fold
+          (fun tenant n acc -> (tenant, n) :: acc)
+          tenant_accesses [])
+      shard_chunks
+  in
+  (* Caller-side merge: shared mutable state is touched only here,
+     strictly after the parallel section has returned. *)
+  let merged : int Atp_util.Int_table.Poly.t =
+    Atp_util.Int_table.Poly.create ()
+  in
+  List.iter
+    (List.iter (fun (tenant, n) ->
+         let seen = Atp_util.Int_table.Poly.find_or merged tenant 0 in
+         Atp_util.Int_table.Poly.set merged tenant (seen + n)))
+    per_shard;
+  merged

@@ -1,0 +1,1 @@
+val replay_owned_tables : int list list -> int Atp_util.Int_table.Poly.t
